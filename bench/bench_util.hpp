@@ -1,0 +1,74 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Conventions: every bench prints '#' comment lines (what the figure shows,
+// the paper's qualitative claim, and the run parameters) followed by a CSV
+// header and data rows on stdout. Default parameters are scaled down from
+// the paper's 10M-cycle runs so the whole bench suite completes in minutes;
+// flags restore paper scale.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/flags.hpp"
+#include "sim/experiment.hpp"
+
+namespace nocsim::bench {
+
+/// Scaled-down Table 2 configuration shared by the small-NoC benches.
+/// The controller epoch shrinks with the run length so the mechanism still
+/// updates ~8+ times per measurement (the paper: 100 updates per 10M-cycle
+/// run).
+inline SimConfig small_noc_config(Cycle measure = 150'000, std::uint64_t seed = 1) {
+  SimConfig c;
+  c.width = 4;
+  c.height = 4;
+  c.warmup_cycles = 25'000;
+  c.measure_cycles = measure;
+  c.cc_params.epoch = std::max<Cycle>(5'000, measure / 8);
+  c.seed = seed;
+  return c;
+}
+
+/// Configuration for the large-scale locality studies (§3.2, §6.3):
+/// exponential data mapping, cycle counts shrinking with network size so a
+/// 64x64 run stays tractable.
+inline SimConfig scaling_config(int side, Cycle measure, std::uint64_t seed = 1) {
+  SimConfig c;
+  c.width = side;
+  c.height = side;
+  c.l2_map = "exponential";
+  c.locality_lambda = 1.0;
+  c.warmup_cycles = measure / 5;
+  c.measure_cycles = measure;
+  c.cc_params.epoch = std::max<Cycle>(5'000, measure / 8);
+  c.seed = seed;
+  return c;
+}
+
+/// Default measured-cycle budget for an NxN mesh: large networks cost
+/// ~O(N^2) per cycle, so the cycle count shrinks superlinearly with side to
+/// keep any single run under ~20 s. Floor of 12k cycles preserves at least
+/// a couple of controller epochs per measurement.
+inline Cycle scaled_measure(int side, Cycle base_at_4x4) {
+  const double factor = std::pow(side / 4.0, 1.6);
+  return std::max<Cycle>(12'000, static_cast<Cycle>(static_cast<double>(base_at_4x4) / factor));
+}
+
+/// Mean of a metric across a workload sweep helper.
+struct GainStats {
+  double min = 1e300, max = -1e300, sum = 0;
+  int n = 0;
+  void add(double x) {
+    min = std::min(min, x);
+    max = std::max(max, x);
+    sum += x;
+    ++n;
+  }
+  [[nodiscard]] double avg() const { return n ? sum / n : 0.0; }
+};
+
+}  // namespace nocsim::bench

@@ -1,0 +1,96 @@
+// Section 7 ("Traffic Engineering") exploration: regional hot-spots.
+//
+// The paper observes that multithreaded / co-located workloads create
+// regional hot-spots, that source throttling gives only small gains there
+// (it is a rate mechanism, not a routing one), and speculates that routing
+// around the hot-spot — traffic engineering — would help more.
+//
+// This bench builds that scenario: a cluster of network-heavy applications
+// in one corner of an 8x8 mesh (with exponential locality, so their traffic
+// stays regional) surrounded by light applications, and compares:
+//   - baseline BLESS (strict XY),
+//   - the paper's congestion controller (rate control),
+//   - minimal-adaptive deflection preference (a primitive form of routing
+//     around contention),
+//   - both combined.
+#include "bench_util.hpp"
+
+namespace nocsim::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto measure =
+      static_cast<Cycle>(flags.get_int("cycles", 100'000, "measured cycles per run"));
+  const int cluster =
+      static_cast<int>(flags.get_int("cluster", 3, "side of the hot corner cluster"));
+  if (flags.finish()) return 0;
+
+  // Heavy cluster in the top-left corner; light apps elsewhere.
+  const int side = 8;
+  WorkloadSpec wl;
+  wl.category = "hotspot";
+  Rng rng(5);
+  const auto heavy = apps_in_class(IntensityClass::Heavy);
+  const auto light = apps_in_class(IntensityClass::Light);
+  for (int y = 0; y < side; ++y) {
+    for (int x = 0; x < side; ++x) {
+      const bool hot = (x < cluster && y < cluster);
+      const auto& pool = hot ? heavy : light;
+      wl.app_names.push_back(pool[rng.next_below(pool.size())]->name);
+    }
+  }
+
+  CsvWriter csv(std::cout);
+  csv.comment("Section 7 exploration: " + std::to_string(cluster) + "x" +
+              std::to_string(cluster) + " heavy cluster in an 8x8 mesh of light apps,");
+  csv.comment("exponential locality (regional traffic). Paper: source throttling gives");
+  csv.comment("only small gains on hot-spots; routing around them should do better.");
+  csv.header({"variant", "cluster_ipc_per_node", "rest_ipc_per_node", "system_ipc",
+              "cluster_starvation", "avg_net_latency"});
+
+  const auto report = [&](const std::string& name, const SimConfig& config) {
+    const SimResult r = run_workload(config, wl);
+    double cluster_ipc = 0, rest_ipc = 0, cluster_starv = 0;
+    int nc = 0, nr = 0;
+    for (int i = 0; i < side * side; ++i) {
+      const bool hot = (i % side) < cluster && (i / side) < cluster;
+      if (hot) {
+        cluster_ipc += r.nodes[i].ipc;
+        cluster_starv += r.nodes[i].starvation;
+        ++nc;
+      } else {
+        rest_ipc += r.nodes[i].ipc;
+        ++nr;
+      }
+    }
+    csv.row(name, cluster_ipc / nc, rest_ipc / nr, r.system_throughput(), cluster_starv / nc,
+            r.avg_net_latency);
+  };
+
+  SimConfig base;
+  base.width = base.height = side;
+  base.l2_map = "exponential";
+  base.warmup_cycles = 20'000;
+  base.measure_cycles = measure;
+  base.cc_params.epoch = measure / 8;
+  report("bless-xy", base);
+
+  SimConfig cc = base;
+  cc.cc = CcMode::Central;
+  report("bless-xy+throttling", cc);
+
+  SimConfig adaptive = base;
+  adaptive.adaptive_routing = true;
+  report("bless-adaptive", adaptive);
+
+  SimConfig both = adaptive;
+  both.cc = CcMode::Central;
+  report("bless-adaptive+throttling", both);
+  return 0;
+}
+
+}  // namespace
+}  // namespace nocsim::bench
+
+int main(int argc, char** argv) { return nocsim::bench::run(argc, argv); }

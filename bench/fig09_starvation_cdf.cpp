@@ -1,0 +1,68 @@
+// Figure 9: CDF of per-workload average starvation rate for congested
+// workloads (baseline utilization > 0.6), with and without the
+// congestion-control mechanism.
+//
+// Paper: with throttling only 36% of congested 4x4 workloads exceed a 30%
+// starvation rate, versus 61% without — the mechanism directly attacks
+// network-admission congestion.
+#include "bench_util.hpp"
+
+namespace nocsim::bench {
+namespace {
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int seeds = static_cast<int>(
+      flags.get_int("seeds", 5, "workloads per heavy category"));
+  const auto measure =
+      static_cast<Cycle>(flags.get_int("cycles", 120'000, "measured cycles per run"));
+  const double util_floor =
+      flags.get_double("util-floor", 0.60, "congestion filter on baseline utilization");
+  if (flags.finish()) return 0;
+
+  EmpiricalCdf base_cdf, throttled_cdf, base_net_cdf, throttled_net_cdf;
+  // Heavy-leaning categories produce the congested population.
+  for (const std::string& cat : {std::string("H"), std::string("HM"), std::string("HML")}) {
+    for (int s = 0; s < seeds; ++s) {
+      Rng rng(91 + 13 * s);
+      const auto wl = make_category_workload(cat, 16, rng);
+      SimConfig c = small_noc_config(measure, s + 1);
+      const SimResult base = run_workload(c, wl);
+      if (base.utilization <= util_floor) continue;
+      SimConfig cc = c;
+      cc.cc = CcMode::Central;
+      const SimResult thr = run_workload(cc, wl);
+      base_cdf.add(base.avg_starvation);
+      throttled_cdf.add(thr.avg_starvation);
+      base_net_cdf.add(base.avg_starvation_network);
+      throttled_net_cdf.add(thr.avg_starvation_network);
+    }
+  }
+
+  CsvWriter csv(std::cout);
+  csv.comment("Figure 9: CDF of average starvation rate, congested 4x4 workloads (baseline");
+  csv.comment("utilization > " + std::to_string(util_floor) + "), BLESS vs BLESS-Throttling.");
+  csv.comment("Paper: P(starvation > 0.3) drops from 61% to 36% with the mechanism.");
+  csv.comment("Two sigma flavours: Algorithm 2 counts throttle-gate blocks as starved");
+  csv.comment("cycles (so throttled nodes inflate it by design); the *_network columns");
+  csv.comment("count only fabric-admission blocks — the congestion the mechanism fights.");
+  csv.comment("workloads in population: " + std::to_string(base_cdf.size()));
+  csv.header({"avg_starvation_rate", "cdf_bless", "cdf_bless_throttling",
+              "cdf_bless_network", "cdf_bless_throttling_network"});
+  for (double x = 0.0; x <= 0.5001; x += 0.025) {
+    csv.row(x, base_cdf.size() ? base_cdf.at(x) : 0.0,
+            throttled_cdf.size() ? throttled_cdf.at(x) : 0.0,
+            base_net_cdf.size() ? base_net_cdf.at(x) : 0.0,
+            throttled_net_cdf.size() ? throttled_net_cdf.at(x) : 0.0);
+  }
+  csv.comment("P(network starvation > 0.2): BLESS " +
+              std::to_string(base_net_cdf.size() ? 1.0 - base_net_cdf.at(0.2) : 0.0) +
+              ", BLESS-Throttling " +
+              std::to_string(throttled_net_cdf.size() ? 1.0 - throttled_net_cdf.at(0.2) : 0.0));
+  return 0;
+}
+
+}  // namespace
+}  // namespace nocsim::bench
+
+int main(int argc, char** argv) { return nocsim::bench::run(argc, argv); }

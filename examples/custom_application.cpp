@@ -1,0 +1,92 @@
+// Scenario: characterizing a *custom* application against the catalog.
+//
+// Downstream users rarely run SPEC; they have their own kernel and want to
+// know (a) its network-intensity class, (b) whether the congestion
+// controller would throttle it, and (c) how it behaves when co-scheduled
+// with a known aggressor. This example defines a custom AppProfile +
+// TraceSource pair — a synthetic "kv-store" with a large hot set and bursty
+// scan phases — and runs it through the same pipeline.
+//
+//   $ ./build/examples/custom_application
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+#include "workload/synth_trace.hpp"
+
+using namespace nocsim;
+
+namespace {
+
+/// Build the profile by hand instead of deriving it from a published IPF:
+/// ~30% memory ops; 1.5% of them stream through a cold region (scans), the
+/// rest hit a 64 KB hot set (the index); bursty scan phases.
+AppProfile kv_store_profile() {
+  AppProfile p;
+  p.name = "kv-store";
+  p.mem_fraction = 0.30;
+  p.cold_fraction = 0.015;
+  p.hot_blocks = 2048;  // 64 KB of 32 B blocks
+  p.max_mlp = 8;
+  p.phase = PhaseStyle::Burst;
+  p.phase_amplitude = 0.5;
+  p.phase_period = 80'000;
+  // Expected IPF under the 1+3-flit packetization:
+  p.table_ipf = 1.0 / (p.mem_fraction * p.cold_fraction * AppProfile::kFlitsPerMiss);
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const AppProfile kv = kv_store_profile();
+  std::printf("custom profile '%s': expected IPF ~= %.1f\n", kv.name.c_str(), kv.table_ipf);
+
+  // (a)/(b): run it alone through a real simulated L1 to measure IPF.
+  // The Simulator only knows catalog names, so for a custom app we drive
+  // the trace + cache directly — the same components the simulator uses.
+  {
+    SyntheticTrace trace(kv, /*seed=*/1, /*stream=*/0);
+    SetAssocCache l1(128 * 1024, 4, 32);
+    std::uint64_t insns = 0, misses = 0;
+    for (; insns < 300'000; ++insns) {  // warm
+      const Insn i = trace.next();
+      if (i.is_mem && !l1.access(l1.block_of(i.addr))) l1.fill(l1.block_of(i.addr));
+    }
+    std::uint64_t measured = 0;
+    for (insns = 0; insns < 2'000'000; ++insns) {
+      const Insn i = trace.next();
+      if (!i.is_mem) continue;
+      const Addr b = l1.block_of(i.addr);
+      if (!l1.access(b)) {
+        l1.fill(b);
+        ++misses;
+      }
+      ++measured;
+    }
+    const double ipf =
+        static_cast<double>(insns) / (static_cast<double>(misses) * AppProfile::kFlitsPerMiss);
+    const char cls = ipf < 2 ? 'H' : (ipf <= 100 ? 'M' : 'L');
+    std::printf("measured alone: IPF %.1f -> class %c; L1 miss rate %.4f\n", ipf, cls,
+                static_cast<double>(misses) / static_cast<double>(measured));
+    CcParams cc;
+    std::printf("if congested and below mean IPF, Eq.2 would throttle it at %.0f%%\n",
+                100 * cc.throttle_rate(ipf));
+  }
+
+  // (c): co-schedule against an aggressor from the catalog (checkerboard of
+  // mcf) by comparing the closest catalog stand-in. gromacs has a similar
+  // intensity class; the SimResult shows what the mechanism does to each.
+  const auto wl = make_checkerboard_workload("gromacs", "mcf", 4, 4);
+  SimConfig config;
+  config.measure_cycles = 150'000;
+  config.cc_params.epoch = 20'000;
+  const SimResult base = run_workload(config, wl);
+  SimConfig throttled = config;
+  throttled.cc = CcMode::Central;
+  const SimResult cc_run = run_workload(throttled, wl);
+  std::printf("\nco-scheduled with mcf aggressors (using catalog stand-in 'gromacs'):\n");
+  std::printf("  system: %.2f -> %.2f IPC (%+.1f%%) with congestion control\n",
+              base.system_throughput(), cc_run.system_throughput(),
+              100 * (cc_run.system_throughput() / base.system_throughput() - 1));
+  return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every figure/table of the paper.
+#
+#   scripts/reproduce_all.sh [output-dir]
+#
+# Writes one CSV per bench binary into the output directory (default:
+# ./results). Figures take minutes at the scaled-down defaults; pass
+# flags to individual binaries (see --help on each) for paper-scale runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-results}"
+mkdir -p "$out"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "== $name =="
+  "$b" | tee "$out/$name.csv" | grep '^#' | head -4
+done
+
+echo "All outputs in $out/"

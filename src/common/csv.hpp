@@ -1,0 +1,54 @@
+// Minimal CSV emission for bench binaries.
+//
+// Every figure/table bench prints `# comment` header lines (context, the
+// paper's qualitative claim) followed by one CSV header row and data rows,
+// so output is both human-readable and trivially consumed by plotting tools.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace nocsim {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// A '#'-prefixed free-text line (ignored by CSV parsers with comment='#').
+  void comment(const std::string& text) { out_ << "# " << text << '\n'; }
+
+  void header(std::initializer_list<std::string> cols) {
+    write_row(std::vector<std::string>(cols));
+  }
+
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    write_row(cells);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    std::ostringstream ss;
+    ss << v;
+    return ss.str();
+  }
+
+  void write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+  std::ostream& out_;
+};
+
+}  // namespace nocsim

@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Accepted syntax: --name=value, --name value, and bare --flag (bool true).
+// Unknown flags abort with a usage message listing registered flags, so every
+// bench is self-documenting via --help.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nocsim {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Register + read a flag; `desc` appears in --help output.
+  std::int64_t get_int(const std::string& name, std::int64_t def, const std::string& desc);
+  double get_double(const std::string& name, double def, const std::string& desc);
+  bool get_bool(const std::string& name, bool def, const std::string& desc);
+  std::string get_string(const std::string& name, const std::string& def,
+                         const std::string& desc);
+
+  /// Call after all get_*() registrations: handles --help and rejects
+  /// unknown flags. Returns true if the program should exit (help printed).
+  bool finish();
+
+ private:
+  std::optional<std::string> raw(const std::string& name);
+  void note(const std::string& name, const std::string& def, const std::string& desc);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> help_lines_;
+  bool help_requested_ = false;
+};
+
+}  // namespace nocsim

@@ -1,0 +1,116 @@
+// Set-associative cache with LRU replacement — models each core's private L1
+// (Table 2: 128 KB, 4-way, 32 B blocks). The shared L2 is perfect in the
+// paper's methodology, so only the L1 needs real tag state: its miss stream
+// is what generates network traffic, and an application's miss rate is what
+// determines its IPF class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace nocsim {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  [[nodiscard]] double miss_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(misses) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class SetAssocCache {
+ public:
+  SetAssocCache(std::size_t size_bytes, int ways, std::size_t block_bytes)
+      : ways_(ways),
+        block_bytes_(block_bytes),
+        sets_(size_bytes / (block_bytes * static_cast<std::size_t>(ways))),
+        lines_(sets_ * static_cast<std::size_t>(ways)) {
+    NOCSIM_CHECK(ways > 0 && block_bytes > 0);
+    NOCSIM_CHECK_MSG(sets_ > 0, "cache smaller than one set");
+    NOCSIM_CHECK_MSG((sets_ & (sets_ - 1)) == 0, "set count must be a power of two");
+  }
+
+  [[nodiscard]] Addr block_of(Addr byte_addr) const { return byte_addr / block_bytes_; }
+
+  /// Look up a block; updates LRU on hit. Does NOT allocate on miss — the
+  /// fill happens when the data returns from the network (see fill()), which
+  /// matters under coalesced outstanding misses.
+  bool access(Addr block) {
+    auto [line, hit] = find(block);
+    if (hit) {
+      line->lru = ++tick_;
+      ++stats_.hits;
+    } else {
+      ++stats_.misses;
+    }
+    return hit;
+  }
+
+  /// Probe without LRU update or stats (used by tests).
+  [[nodiscard]] bool contains(Addr block) const {
+    const std::size_t base = set_of(block) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w)
+      if (lines_[base + w].valid && lines_[base + w].tag == block) return true;
+    return false;
+  }
+
+  /// Insert a block, evicting the set's LRU line if needed.
+  void fill(Addr block) {
+    const std::size_t base = set_of(block) * static_cast<std::size_t>(ways_);
+    Line* victim = &lines_[base];
+    for (int w = 0; w < ways_; ++w) {
+      Line& line = lines_[base + w];
+      if (line.valid && line.tag == block) {  // already present (raced fill)
+        line.lru = ++tick_;
+        return;
+      }
+      if (!line.valid) {
+        victim = &line;
+        break;
+      }
+      if (line.lru < victim->lru) victim = &line;
+    }
+    victim->valid = true;
+    victim->tag = block;
+    victim->lru = ++tick_;
+  }
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+  [[nodiscard]] std::size_t num_sets() const { return sets_; }
+  [[nodiscard]] int ways() const { return ways_; }
+  [[nodiscard]] std::size_t block_bytes() const { return block_bytes_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::size_t set_of(Addr block) const {
+    return static_cast<std::size_t>(block) & (sets_ - 1);
+  }
+
+  std::pair<Line*, bool> find(Addr block) {
+    const std::size_t base = set_of(block) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+      Line& line = lines_[base + w];
+      if (line.valid && line.tag == block) return {&line, true};
+    }
+    return {nullptr, false};
+  }
+
+  int ways_;
+  std::size_t block_bytes_;
+  std::size_t sets_;
+  std::vector<Line> lines_;
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace nocsim

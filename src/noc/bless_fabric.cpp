@@ -1,0 +1,157 @@
+#include "noc/bless_fabric.hpp"
+
+#include <algorithm>
+
+namespace nocsim {
+
+BlessFabric::BlessFabric(const Topology& topo, int router_latency, int link_latency,
+                         BlessRouting routing)
+    : Fabric(topo, router_latency, link_latency),
+      routing_(routing),
+      nodes_(topo.num_nodes()),
+      wheel_(static_cast<std::size_t>(hop_latency_) + 1) {
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    auto& st = nodes_[n];
+    for (int d = 0; d < kNumDirs; ++d) {
+      st.nbr[d] = topo.neighbor(n, static_cast<Dir>(d));
+      if (st.nbr[d] != kInvalidNode) ++st.degree;
+    }
+    NOCSIM_CHECK_MSG(st.degree >= 2, "degenerate topology: router with degree < 2");
+  }
+}
+
+void BlessFabric::begin_cycle(Cycle now) {
+  NOCSIM_CHECK_MSG(last_begun_ != now, "begin_cycle called twice for one cycle");
+  last_begun_ = now;
+
+  // Latch this cycle's arrivals.
+  auto& slot = wheel_[now % wheel_.size()];
+  for (const InFlight& a : slot) {
+    auto& st = nodes_[a.node];
+    NOCSIM_DCHECK((st.latch_valid & (1u << a.port)) == 0);
+    st.latch[a.port] = a.flit;
+    st.latch_valid |= static_cast<std::uint8_t>(1u << a.port);
+  }
+  slot.clear();
+
+  // Decide injection eligibility: through flits (arrivals minus at most one
+  // ejectable) must leave a free output port.
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    auto& st = nodes_[n];
+    if (st.latch_valid == 0) {
+      st.can_accept = true;
+      continue;
+    }
+    int occupancy = 0;
+    bool has_eject = false;
+    for (int p = 0; p < kNumDirs; ++p) {
+      if (st.latch_valid & (1u << p)) {
+        ++occupancy;
+        if (st.latch[p].dst == n) has_eject = true;
+      }
+    }
+    st.can_accept = (occupancy - (has_eject ? 1 : 0)) < st.degree;
+  }
+}
+
+bool BlessFabric::can_accept(NodeId n) const { return nodes_[n].can_accept; }
+
+void BlessFabric::step(Cycle now) {
+  NOCSIM_CHECK_MSG(last_begun_ == now, "step without matching begin_cycle");
+  ++stats_.cycles;
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    if (nodes_[n].latch_valid != 0 || pending_inject_[n].requested) route_node(now, n);
+  }
+}
+
+void BlessFabric::route_node(Cycle now, NodeId n) {
+  auto& st = nodes_[n];
+
+  // Gather arrivals; clear latches (every flit present leaves this cycle).
+  std::array<Flit, kNumDirs + 1> flits;
+  int count = 0;
+  for (int p = 0; p < kNumDirs; ++p) {
+    if (st.latch_valid & (1u << p)) flits[count++] = st.latch[p];
+  }
+  st.latch_valid = 0;
+
+  // 1. Ejection: oldest flit destined here (width 1).
+  int eject_idx = -1;
+  for (int i = 0; i < count; ++i) {
+    if (flits[i].dst == n && (eject_idx < 0 || older_than(flits[i], flits[eject_idx])))
+      eject_idx = i;
+  }
+  if (eject_idx >= 0) {
+    Flit out = flits[eject_idx];
+    flits[eject_idx] = flits[--count];
+    NOCSIM_DCHECK(in_network_ > 0);
+    --in_network_;
+    eject(now, n, out);
+  }
+
+  // 2. Injection (node layer already checked can_accept).
+  if (pending_inject_[n].requested) {
+    pending_inject_[n].requested = false;
+    NOCSIM_CHECK_MSG(count < st.degree, "injection requested without a free output link");
+    Flit f = pending_inject_[n].flit;
+    f.inject_cycle = now;
+    flits[count++] = f;
+    ++in_network_;
+    ++stats_.flits_injected;
+  }
+
+  if (count == 0) return;
+  NOCSIM_CHECK_MSG(count <= st.degree, "more through flits than output ports");
+
+  // 3. Oldest-first port allocation with XY preference; deflect losers.
+  // Tiny insertion sort (count <= 4): indices into flits[], oldest first.
+  std::array<int, kNumDirs + 1> order;
+  for (int i = 0; i < count; ++i) {
+    int j = i;
+    while (j > 0 && older_than(flits[i], flits[order[j - 1]])) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = i;
+  }
+
+  const bool mark = node_marks(n);
+  std::uint8_t taken = 0;  // output-port bitmask
+  for (int k = 0; k < count; ++k) {
+    Flit& f = flits[order[k]];
+    const RoutePreference pref = topo_.route_preference(n, f.dst);
+    const int desired =
+        (routing_ == BlessRouting::StrictXY) ? std::min(pref.count, 1) : pref.count;
+    int assigned = -1;
+    bool productive = false;
+    for (int c = 0; c < desired && assigned < 0; ++c) {
+      const int p = static_cast<int>(pref.dirs[c]);
+      if (st.nbr[p] != kInvalidNode && !(taken & (1u << p))) {
+        assigned = p;
+        productive = true;
+      }
+    }
+    if (assigned < 0) {  // deflect: any free existing port
+      for (int p = 0; p < kNumDirs; ++p) {
+        if (st.nbr[p] != kInvalidNode && !(taken & (1u << p))) {
+          assigned = p;
+          break;
+        }
+      }
+      NOCSIM_CHECK_MSG(assigned >= 0, "no free output port: flit would be dropped");
+      ++f.deflections;
+      ++stats_.deflections;
+    }
+    taken |= static_cast<std::uint8_t>(1u << assigned);
+    (void)productive;
+
+    ++f.hops;
+    ++stats_.flit_hops;
+    if (mark) f.congested_bit = true;
+    const Dir out_dir = static_cast<Dir>(assigned);
+    wheel_[(now + static_cast<Cycle>(hop_latency_)) % wheel_.size()].push_back(
+        InFlight{st.nbr[assigned], static_cast<std::uint8_t>(opposite(out_dir)), f});
+  }
+}
+
+}  // namespace nocsim

@@ -1,0 +1,76 @@
+// BLESS bufferless deflection fabric (FLIT-BLESS, Oldest-First arbitration).
+//
+// Per router and cycle (paper §2.2, Figure 1):
+//   1. Ejection: among arriving flits destined here, the oldest leaves
+//      through the local port (ejection width 1; extras are deflected).
+//   2. Injection: the node may add one new flit iff the number of through
+//      flits is strictly less than the router's neighbour-port count
+//      ("one of its output links is free").
+//   3. Port allocation, oldest first: each flit tries its productive XY
+//      ports (x before y); if both are taken or absent it is *deflected* to
+//      any free port. Routers never block: with <= degree flits to route and
+//      degree output ports, allocation always succeeds — the network is
+//      lossless and needs no ACKs.
+//
+// A hop occupies `router_latency + link_latency` cycles end to end; flits in
+// the pipeline are held in a timing wheel and do not contend (at most one
+// flit enters a given link per cycle, so per-port arrival latches never
+// collide).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "noc/fabric.hpp"
+
+namespace nocsim {
+
+/// Port-preference policy for deflection routing.
+enum class BlessRouting : std::uint8_t {
+  /// Strict dimension-order: a flit desires exactly one port (x until the
+  /// x-offset is consumed, then y). Any contention loss is a deflection.
+  /// This is the paper's baseline (§2.1 "The most common routing paradigm
+  /// is x-y routing") and makes deflection cost rise steeply with load —
+  /// the congestion behaviour the paper studies.
+  StrictXY,
+  /// Minimal-adaptive: either productive port is acceptable (x preferred).
+  /// Far fewer deflections under load; kept as an ablation point
+  /// (bench/abl_routing).
+  MinimalAdaptive,
+};
+
+class BlessFabric final : public Fabric {
+ public:
+  BlessFabric(const Topology& topo, int router_latency = 2, int link_latency = 1,
+              BlessRouting routing = BlessRouting::StrictXY);
+
+  void begin_cycle(Cycle now) override;
+  [[nodiscard]] bool can_accept(NodeId n) const override;
+  void step(Cycle now) override;
+  [[nodiscard]] bool empty() const override { return in_network_ == 0; }
+
+ private:
+  struct NodeState {
+    std::array<Flit, kNumDirs> latch;   ///< arrival latches, one per input port
+    std::uint8_t latch_valid = 0;       ///< bitmask over latch[]
+    bool can_accept = false;            ///< computed in begin_cycle
+    std::uint8_t degree = 0;            ///< usable neighbour ports
+    std::array<NodeId, kNumDirs> nbr{}; ///< neighbour id per port (or kInvalidNode)
+  };
+
+  struct InFlight {
+    NodeId node;        ///< arrival router
+    std::uint8_t port;  ///< arrival input port
+    Flit flit;
+  };
+
+  void route_node(Cycle now, NodeId n);
+
+  BlessRouting routing_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::vector<InFlight>> wheel_;  ///< indexed by cycle % wheel size
+  std::uint64_t in_network_ = 0;
+  Cycle last_begun_ = ~Cycle{0};
+};
+
+}  // namespace nocsim

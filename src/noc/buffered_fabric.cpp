@@ -1,0 +1,259 @@
+#include "noc/buffered_fabric.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace nocsim {
+
+BufferedFabric::BufferedFabric(const Topology& topo, int router_latency, int link_latency)
+    : Fabric(topo, router_latency, link_latency),
+      nodes_(topo.num_nodes()),
+      wheel_(static_cast<std::size_t>(hop_latency_) + 1),
+      credit_wheel_(2) {
+  torus_ = (topo.name() == "torus");
+  // Dateline detection identifies the wrap link by its coordinate jump,
+  // which is only distinct from a regular link when each ring has >= 3
+  // nodes (a 2-ring's "wrap" is indistinguishable and redundant anyway).
+  NOCSIM_CHECK_MSG(!torus_ || (topo.width() >= 3 && topo.height() >= 3),
+                   "buffered torus requires side >= 3");
+  for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+    auto& st = nodes_[n];
+    for (int d = 0; d < kNumDirs; ++d) {
+      st.nbr[d] = topo.neighbor(n, static_cast<Dir>(d));
+      for (int v = 0; v < kVcs; ++v)
+        st.credits[d][v] = (st.nbr[d] != kInvalidNode) ? kVcDepth : 0;
+    }
+  }
+}
+
+int BufferedFabric::route_port(NodeId n, NodeId dst) const {
+  if (n == dst) return static_cast<int>(Dir::Local);
+  const RoutePreference pref = topo_.route_preference(n, dst);
+  NOCSIM_DCHECK(pref.count > 0);
+  return static_cast<int>(pref.dirs[0]);  // strict XY: x offset consumed first
+}
+
+std::uint8_t BufferedFabric::next_vc_state(NodeId n, int op, const Flit& f) const {
+  if (!torus_ || op == static_cast<int>(Dir::Local)) return f.vc_state;
+  std::uint8_t state = f.vc_state;
+  const auto dir = static_cast<Dir>(op);
+  const bool y_dim = (dir == Dir::North || dir == Dir::South);
+  if (y_dim && !(state & 2)) state = 2;  // entering the y phase: class resets to 0
+  // Crossing the ring's wrap link (coordinate jump > 1) moves the packet to
+  // dateline class 1 for the remainder of this dimension.
+  const Coord here = topo_.coord_of(n);
+  const Coord there = topo_.coord_of(topo_.neighbor(n, dir));
+  const int delta = y_dim ? std::abs(here.y - there.y) : std::abs(here.x - there.x);
+  if (delta > 1) state |= 1;
+  return state;
+}
+
+void BufferedFabric::begin_cycle(Cycle now) {
+  NOCSIM_CHECK_MSG(last_begun_ != now, "begin_cycle called twice for one cycle");
+  last_begun_ = now;
+
+  // Deliver link arrivals into downstream FIFOs.
+  auto& slot = wheel_[now % wheel_.size()];
+  for (const LinkArrival& a : slot) {
+    auto& vc = nodes_[a.node].in_vc[a.port][a.vc];
+    NOCSIM_CHECK_MSG(vc.fifo.size() < kVcDepth, "credit protocol violated: FIFO overflow");
+    vc.fifo.push_back(a.flit);
+    ++nodes_[a.node].flits_buffered;
+    ++stats_.buffer_writes;
+  }
+  slot.clear();
+
+  // Deliver credit returns.
+  auto& credits = credit_wheel_[now % credit_wheel_.size()];
+  for (const CreditReturn& c : credits) {
+    auto& count = nodes_[c.node].credits[c.dir][c.vc];
+    NOCSIM_CHECK_MSG(count < kVcDepth, "credit overflow");
+    ++count;
+  }
+  credits.clear();
+}
+
+bool BufferedFabric::can_accept(NodeId n) const {
+  const auto& st = nodes_[n];
+  const auto& local = st.in_vc[static_cast<int>(Dir::Local)];
+  if (st.inj_alloc_valid) return local[st.inj_vc].fifo.size() < kVcDepth;
+  for (int v = 0; v < kVcs; ++v)
+    if (local[v].fifo.size() < kVcDepth) return true;
+  return false;
+}
+
+void BufferedFabric::accept_injection(Cycle now, NodeId n) {
+  auto& st = nodes_[n];
+  Flit f = pending_inject_[n].flit;
+  pending_inject_[n].requested = false;
+  f.inject_cycle = now;
+
+  int vc = -1;
+  if (st.inj_alloc_valid) {
+    NOCSIM_CHECK_MSG(f.flit_idx != 0, "new packet while previous still injecting");
+    vc = st.inj_vc;
+  } else {
+    NOCSIM_CHECK_MSG(f.flit_idx == 0, "body flit with no injection VC allocated");
+    // Pick the emptiest local VC with space.
+    std::size_t best_fill = kVcDepth;
+    for (int v = 0; v < kVcs; ++v) {
+      const auto fill = st.in_vc[static_cast<int>(Dir::Local)][v].fifo.size();
+      if (fill < best_fill) {
+        best_fill = fill;
+        vc = v;
+      }
+    }
+    NOCSIM_CHECK_MSG(vc >= 0 && best_fill < kVcDepth, "injection without can_accept");
+    if (f.packet_len > 1) {
+      st.inj_alloc_valid = true;
+      st.inj_vc = static_cast<std::uint8_t>(vc);
+    }
+  }
+  if (f.flit_idx + 1 == f.packet_len) st.inj_alloc_valid = false;
+
+  auto& fifo = st.in_vc[static_cast<int>(Dir::Local)][vc].fifo;
+  NOCSIM_CHECK_MSG(fifo.size() < kVcDepth, "injection FIFO overflow");
+  fifo.push_back(f);
+  ++st.flits_buffered;
+  ++in_network_;
+  ++stats_.flits_injected;
+  ++stats_.buffer_writes;
+}
+
+void BufferedFabric::step(Cycle now) {
+  NOCSIM_CHECK_MSG(last_begun_ == now, "step without matching begin_cycle");
+  ++stats_.cycles;
+
+  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+    if (pending_inject_[n].requested) accept_injection(now, n);
+    if (nodes_[n].flits_buffered != 0) route_node(now, n);
+  }
+}
+
+void BufferedFabric::route_node(Cycle now, NodeId n) {
+  auto& st = nodes_[n];
+
+  // Gather switch-allocation candidates: head flits of non-empty input VCs.
+  struct Candidate {
+    std::uint8_t port, vc, out_port;
+    const Flit* flit;
+  };
+  std::array<Candidate, kInPorts * kVcs> cands;
+  int num_cands = 0;
+  for (int p = 0; p < kInPorts; ++p) {
+    for (int v = 0; v < kVcs; ++v) {
+      const auto& vc = st.in_vc[p][v];
+      if (vc.fifo.empty()) continue;
+      const Flit& f = vc.fifo.front();
+      const int op = vc.alloc_valid ? vc.alloc_op : route_port(n, f.dst);
+      cands[num_cands++] = {static_cast<std::uint8_t>(p), static_cast<std::uint8_t>(v),
+                            static_cast<std::uint8_t>(op), &f};
+    }
+  }
+  if (num_cands == 0) return;
+
+  // Oldest-first priority over all candidates.
+  std::sort(cands.begin(), cands.begin() + num_cands,
+            [](const Candidate& a, const Candidate& b) { return older_than(*a.flit, *b.flit); });
+
+  // VC allocation (one grant per output port per cycle), then switch
+  // allocation (one flit per input port and per output port), in one
+  // oldest-first pass — a simplification of a two-stage pipeline that keeps
+  // the same fairness policy.
+  std::uint8_t in_used = 0, out_used = 0;
+  bool vc_alloc_done[kNumDirs] = {};
+
+  // When a flit pops from a neighbour-port FIFO, the upstream router regains
+  // one credit for that (link, VC) after a 1-cycle credit-wire delay. Local
+  // (injection) FIFOs have no credits: can_accept() inspects them directly.
+  const auto return_credit = [&](int in_port, int vc) {
+    if (in_port == static_cast<int>(Dir::Local)) return;
+    const NodeId upstream = st.nbr[in_port];
+    NOCSIM_DCHECK(upstream != kInvalidNode);
+    const auto up_dir = static_cast<std::uint8_t>(opposite(static_cast<Dir>(in_port)));
+    credit_wheel_[(now + 1) % credit_wheel_.size()].push_back(
+        CreditReturn{upstream, up_dir, static_cast<std::uint8_t>(vc)});
+  };
+
+  for (int k = 0; k < num_cands; ++k) {
+    const Candidate& c = cands[k];
+    if (in_used & (1u << c.port)) continue;
+    if (out_used & (1u << c.out_port)) continue;
+
+    auto& vcs = st.in_vc[c.port][c.vc];
+    const Flit f = vcs.fifo.front();
+    const bool is_head = (f.flit_idx == 0);
+    const bool is_tail = (f.flit_idx + 1 == f.packet_len);
+    const int op = c.out_port;
+
+    if (op == static_cast<int>(Dir::Local)) {
+      // Ejection: no VC or credit needed; the NI sink always accepts.
+      vcs.fifo.pop_front();
+      --st.flits_buffered;
+      ++stats_.buffer_reads;
+      return_credit(c.port, c.vc);
+      NOCSIM_DCHECK(in_network_ > 0);
+      --in_network_;
+      Flit out = f;
+      eject(now, n, out);
+      in_used |= static_cast<std::uint8_t>(1u << c.port);
+      out_used |= static_cast<std::uint8_t>(1u << op);
+      continue;
+    }
+
+    // Need an output VC: allocate for heads, reuse for body flits. On a
+    // torus the dateline class restricts which downstream VCs are legal.
+    if (is_head && !vcs.alloc_valid) {
+      if (vc_alloc_done[op]) continue;  // one VC allocation per output per cycle
+      int v_lo = 0, v_hi = kVcs;
+      if (torus_) {
+        const int cls = vc_class_of(next_vc_state(n, op, f));
+        v_lo = cls * (kVcs / 2);
+        v_hi = v_lo + kVcs / 2;
+      }
+      int free_vc = -1;
+      for (int v = v_lo; v < v_hi; ++v) {
+        if (!st.out_vc_busy[op][v]) {
+          free_vc = v;
+          break;
+        }
+      }
+      if (free_vc < 0) continue;  // all legal downstream VCs held by other packets
+      vc_alloc_done[op] = true;
+      vcs.alloc_valid = true;
+      vcs.alloc_op = static_cast<std::uint8_t>(op);
+      vcs.alloc_vc = static_cast<std::uint8_t>(free_vc);
+      st.out_vc_busy[op][free_vc] = true;
+    }
+    NOCSIM_DCHECK(vcs.alloc_valid && vcs.alloc_op == op);
+    const int ovc = vcs.alloc_vc;
+
+    if (st.credits[op][ovc] == 0) continue;  // downstream FIFO full
+
+    // Traverse.
+    vcs.fifo.pop_front();
+    --st.flits_buffered;
+    ++stats_.buffer_reads;
+    return_credit(c.port, c.vc);
+    --st.credits[op][ovc];
+    Flit moving = f;
+    moving.vc_state = next_vc_state(n, op, moving);
+    ++moving.hops;
+    ++stats_.flit_hops;
+    if (node_marks(n)) moving.congested_bit = true;
+    const NodeId next = st.nbr[op];
+    NOCSIM_CHECK_MSG(next != kInvalidNode, "XY routing chose a missing link");
+    wheel_[(now + static_cast<Cycle>(hop_latency_)) % wheel_.size()].push_back(LinkArrival{
+        next, static_cast<std::uint8_t>(opposite(static_cast<Dir>(op))),
+        static_cast<std::uint8_t>(ovc), moving});
+
+    if (is_tail) {
+      st.out_vc_busy[op][ovc] = false;
+      vcs.alloc_valid = false;
+    }
+    in_used |= static_cast<std::uint8_t>(1u << c.port);
+    out_used |= static_cast<std::uint8_t>(1u << op);
+  }
+}
+
+}  // namespace nocsim

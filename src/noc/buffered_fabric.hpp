@@ -1,0 +1,128 @@
+// Buffered virtual-channel fabric: the paper's comparison baseline (§6.3).
+//
+// Each router has 5 input ports (4 neighbours + local injection), 4 VCs per
+// input port, and 4 flits of buffering per VC (Table 2 footnote). Packets use
+// wormhole switching: the head flit acquires an output VC (VC allocation),
+// body flits follow in the same VC, and the allocation is released when the
+// tail traverses. Credit-based flow control guarantees a flit only leaves
+// when the downstream FIFO has a slot, so the network is lossless. Routing is
+// deterministic XY, which together with per-packet VC exclusivity makes the
+// mesh deadlock-free.
+//
+// On a torus, wraparound links close cyclic channel dependencies; the
+// classic dateline scheme restores deadlock freedom: the 4 VCs split into
+// two classes (VCs 0-1 and 2-3); a packet starts each routing dimension in
+// class 0 and is forced into class 1 after traversing that dimension's wrap
+// link, so no packet can complete a cycle within one class.
+//
+// Arbitration is Oldest-First everywhere (matching the bufferless baseline's
+// age policy): one flit per input port and per output port per cycle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "noc/fabric.hpp"
+
+namespace nocsim {
+
+class BufferedFabric final : public Fabric {
+ public:
+  static constexpr int kVcs = 4;
+  static constexpr int kVcDepth = 4;
+  static constexpr int kInPorts = kNumPorts;  // 4 neighbours + Local
+
+  BufferedFabric(const Topology& topo, int router_latency = 2, int link_latency = 1);
+
+  void begin_cycle(Cycle now) override;
+  [[nodiscard]] bool can_accept(NodeId n) const override;
+  void step(Cycle now) override;
+  [[nodiscard]] bool empty() const override { return in_network_ == 0; }
+
+ private:
+  /// Fixed-capacity flit FIFO, matching the hardware buffer exactly
+  /// (kVcDepth slots). A ring buffer keeps the hot path allocation-free.
+  class VcFifo {
+   public:
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    [[nodiscard]] std::size_t size() const { return count_; }
+    [[nodiscard]] const Flit& front() const {
+      NOCSIM_DCHECK(count_ > 0);
+      return slots_[head_];
+    }
+    void push_back(const Flit& f) {
+      NOCSIM_CHECK_MSG(count_ < kVcDepth, "VC FIFO overflow");
+      slots_[(head_ + count_) % kVcDepth] = f;
+      ++count_;
+    }
+    void pop_front() {
+      NOCSIM_DCHECK(count_ > 0);
+      head_ = (head_ + 1) % kVcDepth;
+      --count_;
+    }
+
+   private:
+    std::array<Flit, kVcDepth> slots_;
+    std::uint8_t head_ = 0;
+    std::uint8_t count_ = 0;
+  };
+
+  struct VcState {
+    VcFifo fifo;
+    bool alloc_valid = false;  ///< current packet holds an output VC
+    std::uint8_t alloc_op = 0;
+    std::uint8_t alloc_vc = 0;
+  };
+
+  struct NodeState {
+    // in_vc[port][vc]
+    std::array<std::array<VcState, kVcs>, kInPorts> in_vc;
+    // credits[output dir][vc]: free slots in the downstream input FIFO.
+    std::array<std::array<std::uint8_t, kVcs>, kNumDirs> credits{};
+    // out_vc_busy[output dir][vc]: an upstream packet holds this downstream VC.
+    std::array<std::array<bool, kVcs>, kNumDirs> out_vc_busy{};
+    std::array<NodeId, kNumDirs> nbr{};
+    std::uint32_t flits_buffered = 0;
+    // Injection wormhole state: mid-packet flits must use the same VC.
+    bool inj_alloc_valid = false;
+    std::uint8_t inj_vc = 0;
+  };
+
+  struct LinkArrival {
+    NodeId node;
+    std::uint8_t port;  ///< input port at the arrival node
+    std::uint8_t vc;
+    Flit flit;
+  };
+
+  struct CreditReturn {
+    NodeId node;        ///< node whose credit counter increments
+    std::uint8_t dir;   ///< its output dir
+    std::uint8_t vc;
+  };
+
+  /// Output port for a flit at node n (Local when dst == n). XY routing.
+  [[nodiscard]] int route_port(NodeId n, NodeId dst) const;
+
+  /// Dateline bookkeeping (torus): the vc_state the flit will carry on the
+  /// link out of port `op` at node `n`. Identity on a mesh.
+  [[nodiscard]] std::uint8_t next_vc_state(NodeId n, int op, const Flit& f) const;
+
+  /// VC class (0 or 1) implied by a vc_state; class c may use VCs
+  /// [c*2, c*2+1] on a torus, any VC on a mesh.
+  [[nodiscard]] static int vc_class_of(std::uint8_t vc_state) { return vc_state & 1; }
+
+  void route_node(Cycle now, NodeId n);
+  void accept_injection(Cycle now, NodeId n);
+
+  bool torus_ = false;
+
+  std::vector<NodeState> nodes_;
+  std::vector<std::vector<LinkArrival>> wheel_;
+  std::vector<std::vector<CreditReturn>> credit_wheel_;
+  std::uint64_t in_network_ = 0;
+  Cycle last_begun_ = ~Cycle{0};
+};
+
+}  // namespace nocsim

@@ -1,0 +1,142 @@
+// Fabric: a synchronous network of routers operated cycle by cycle.
+//
+// Per-cycle protocol between the node layer (network interfaces) and the
+// fabric:
+//
+//   1. begin_cycle(now)                 — fabric latches arrivals for `now`
+//   2. can_accept(n)                    — may node n inject one flit now?
+//   3. request_inject(n, flit)          — at most one per node per cycle;
+//                                         only legal if can_accept(n)
+//   4. step(now)                        — eject (sink callback), route, move
+//
+// can_accept() is exact, not advisory: if it returns true and the node
+// requests injection, the flit enters the network this cycle. This lets the
+// node layer implement the paper's Algorithm 3 throttling gate faithfully
+// (the gate's counter only advances on cycles where "an output link is
+// free").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+#include "topology/topology.hpp"
+
+namespace nocsim {
+
+/// Counters the fabric maintains; reset with reset_stats() after warmup.
+struct FabricStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t flits_injected = 0;
+  std::uint64_t flits_ejected = 0;
+  std::uint64_t flit_hops = 0;        ///< link traversals
+  std::uint64_t deflections = 0;      ///< BLESS misroutes
+  std::uint64_t buffer_reads = 0;     ///< buffered fabric only
+  std::uint64_t buffer_writes = 0;    ///< buffered fabric only
+  StatAccumulator net_latency;        ///< inject -> eject, cycles
+  StatAccumulator total_latency;      ///< NI enqueue -> eject, cycles
+  StatAccumulator hops_per_flit;      ///< links traversed per delivered flit
+  StatAccumulator deflections_per_flit;  ///< misroutes per delivered flit
+  std::uint64_t min_hops_total = 0;   ///< sum of src->dst distances of delivered flits
+
+  /// Hop inflation: links actually traversed / minimal distance. ~1 in an
+  /// idle network; grows with deflection orbits — the congestion-collapse
+  /// signature of a bufferless NoC under convergent (local) traffic.
+  [[nodiscard]] double hop_inflation() const {
+    if (min_hops_total == 0) return 1.0;
+    return static_cast<double>(flit_hops_delivered) / static_cast<double>(min_hops_total);
+  }
+  std::uint64_t flit_hops_delivered = 0;  ///< hops summed over delivered flits
+
+  /// Mean fraction of unidirectional links busy per cycle.
+  [[nodiscard]] double utilization(std::uint64_t num_links) const {
+    if (cycles == 0 || num_links == 0) return 0.0;
+    return static_cast<double>(flit_hops) /
+           (static_cast<double>(num_links) * static_cast<double>(cycles));
+  }
+};
+
+class Fabric {
+ public:
+  /// Called once per ejected flit, during step().
+  using EjectSink = std::function<void(NodeId at, const Flit&)>;
+
+  Fabric(const Topology& topo, int router_latency, int link_latency)
+      : topo_(topo),
+        hop_latency_(router_latency + link_latency),
+        pending_inject_(topo.num_nodes()) {
+    NOCSIM_CHECK(router_latency >= 1 && link_latency >= 1);
+  }
+  virtual ~Fabric() = default;
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  void set_eject_sink(EjectSink sink) { sink_ = std::move(sink); }
+
+  virtual void begin_cycle(Cycle now) = 0;
+  [[nodiscard]] virtual bool can_accept(NodeId n) const = 0;
+
+  /// Hand one flit to node n's router for injection this cycle.
+  /// Pre: can_accept(n) was true after this cycle's begin_cycle().
+  void request_inject(NodeId n, const Flit& f) {
+    NOCSIM_DCHECK(!pending_inject_[n].requested);
+    pending_inject_[n].flit = f;
+    pending_inject_[n].requested = true;
+  }
+
+  virtual void step(Cycle now) = 0;
+
+  /// True when no flit is in a router, on a link, or in an internal buffer.
+  [[nodiscard]] virtual bool empty() const = 0;
+
+  [[nodiscard]] const FabricStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = FabricStats{}; }
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  /// Unidirectional link count (for utilization).
+  [[nodiscard]] std::uint64_t num_links() const {
+    std::uint64_t links = 0;
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) links += topo_.degree(n);
+    return links;
+  }
+
+  /// For the distributed controller (§6.6): while node n is marked starved,
+  /// the fabric sets the congested bit on every flit passing through n.
+  /// Call enable_marking() once before using set_marks_flits().
+  void enable_marking() { marking_.assign(topo_.num_nodes(), 0); }
+  void set_marks_flits(NodeId n, bool marking) { marking_.at(n) = marking; }
+
+ protected:
+  struct InjectSlot {
+    Flit flit;
+    bool requested = false;
+  };
+
+  void eject(Cycle now, NodeId at, Flit& f) {
+    ++stats_.flits_ejected;
+    stats_.net_latency.add(static_cast<double>(now - f.inject_cycle));
+    stats_.total_latency.add(static_cast<double>(now - f.enqueue_cycle));
+    stats_.hops_per_flit.add(static_cast<double>(f.hops));
+    stats_.deflections_per_flit.add(static_cast<double>(f.deflections));
+    stats_.flit_hops_delivered += f.hops;
+    stats_.min_hops_total += static_cast<std::uint64_t>(topo_.distance(f.src, f.dst));
+    if (sink_) sink_(at, f);
+  }
+
+  [[nodiscard]] bool node_marks(NodeId n) const {
+    return !marking_.empty() && marking_[n];
+  }
+
+  const Topology& topo_;
+  const int hop_latency_;  ///< cycles from one router's input latch to the next's
+  std::vector<InjectSlot> pending_inject_;
+  FabricStats stats_;
+  EjectSink sink_;
+  std::vector<std::uint8_t> marking_;  ///< empty unless distributed CC active
+};
+
+}  // namespace nocsim

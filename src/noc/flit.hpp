@@ -1,0 +1,62 @@
+// Flits: the unit of routing and link allocation.
+//
+// Following FLIT-BLESS (Moscibroda & Mutlu, ISCA'09), every flit carries full
+// routing state (src, dst, packet id, flit index) because deflections can
+// separate the flits of one packet; the receiver reassembles. The same struct
+// is used by the buffered fabric, where flits of a packet stay together in a
+// wormhole (the extra header fields are then redundant but harmless).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace nocsim {
+
+/// What a packet is for. The congestion controller treats these classes
+/// differently: only Request traffic is ever throttled (paper §5, "How to
+/// Throttle"); Response and Control traffic always flows freely.
+enum class PacketKind : std::uint8_t {
+  Request = 0,   ///< L1-miss data request, core -> L2 home slice (1 flit)
+  Response = 1,  ///< data reply, L2 home slice -> core (1 + data flits)
+  Control = 2,   ///< congestion-control report/rate packets (1 flit)
+};
+
+/// Kept to 40 bytes: the fabric hot loops copy flits through arrival
+/// latches, VC FIFOs and timing wheels every cycle, so flit size directly
+/// sets the simulator's memory bandwidth. Cycle stamps are 32-bit — ample
+/// for any practical run length (the paper simulates 10M cycles).
+struct Flit {
+  Addr addr = 0;                   ///< block address (Requests/Responses)
+  NodeId src = kInvalidNode;       ///< injecting node
+  NodeId dst = kInvalidNode;       ///< destination node
+  std::uint32_t packet = 0;        ///< per-source packet sequence number
+  std::uint32_t enqueue_cycle = 0; ///< when the flit entered the NI queue
+  std::uint32_t inject_cycle = 0;  ///< when it entered the network (age basis)
+  std::uint16_t hops = 0;          ///< links traversed so far
+  std::uint16_t deflections = 0;   ///< times misrouted (BLESS only)
+  std::uint8_t flit_idx = 0;       ///< index of this flit within the packet
+  std::uint8_t packet_len = 1;     ///< total flits in the packet
+  PacketKind kind = PacketKind::Request;
+  /// Buffered-torus dateline state: bit 0 = VC class (set after crossing
+  /// the current dimension's wrap link), bit 1 = routing in the y phase.
+  std::uint8_t vc_state = 0;
+
+  /// Congestion bit for the distributed ("TCP-like") controller of §6.6:
+  /// set by any starved router the flit passes through.
+  bool congested_bit = false;
+};
+static_assert(sizeof(Flit) <= 40, "Flit grew: check the fabric hot-path cost");
+
+/// Oldest-first total order (paper §2.2): primary key is injection time
+/// (age), ties broken by source id then packet then flit index, forming a
+/// total order over all in-flight flits. Returns true if `a` strictly
+/// precedes (is older than / outranks) `b`.
+constexpr bool older_than(const Flit& a, const Flit& b) {
+  if (a.inject_cycle != b.inject_cycle) return a.inject_cycle < b.inject_cycle;
+  if (a.src != b.src) return a.src < b.src;
+  if (a.packet != b.packet) return a.packet < b.packet;
+  return a.flit_idx < b.flit_idx;
+}
+
+}  // namespace nocsim

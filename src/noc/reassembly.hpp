@@ -1,0 +1,78 @@
+// Receiver-side packet reassembly.
+//
+// FLIT-BLESS routes flits independently, so a packet's flits may arrive out
+// of order and interleaved with other packets' flits. Each node keeps a
+// reassembly table keyed by (source, packet seq); when all `packet_len`
+// flits have arrived the packet is delivered. The network is lossless, so
+// entries always complete; the paper's design assumes receiver-side buffers
+// sized for the worst case (we model them as unbounded but track the high
+// water mark so experiments can report the required capacity).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "noc/flit.hpp"
+
+namespace nocsim {
+
+class ReassemblyTable {
+ public:
+  /// Invoked with the *first* flit of a completed packet (header fields are
+  /// identical across the packet: src, dst, kind, addr, packet/seq) and the
+  /// latest arrival cycle.
+  using PacketSink = std::function<void(const Flit& header, Cycle completed_at)>;
+
+  explicit ReassemblyTable(PacketSink sink) : sink_(std::move(sink)) {}
+
+  void on_flit(const Flit& f, Cycle now) {
+    if (f.packet_len <= 1) {
+      sink_(f, now);
+      return;
+    }
+    const Key key{f.src, f.packet};
+    auto [it, inserted] = pending_.try_emplace(key, Entry{});
+    Entry& e = it->second;
+    if (inserted) {
+      e.header = f;
+      high_water_ = std::max<std::size_t>(high_water_, pending_.size());
+    }
+    NOCSIM_DCHECK(e.arrived < f.packet_len);
+    ++e.arrived;
+    e.congested |= f.congested_bit;
+    if (e.arrived == f.packet_len) {
+      Flit header = e.header;
+      header.congested_bit = e.congested;
+      pending_.erase(it);
+      sink_(header, now);
+    }
+  }
+
+  [[nodiscard]] std::size_t pending_packets() const { return pending_.size(); }
+  [[nodiscard]] std::size_t high_water_mark() const { return high_water_; }
+
+ private:
+  struct Key {
+    NodeId src;
+    PacketSeq seq;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.src) << 48) ^ k.seq);
+    }
+  };
+  struct Entry {
+    Flit header;
+    std::uint16_t arrived = 0;
+    bool congested = false;
+  };
+
+  std::unordered_map<Key, Entry, KeyHash> pending_;
+  std::size_t high_water_ = 0;
+  PacketSink sink_;
+};
+
+}  // namespace nocsim

@@ -1,0 +1,42 @@
+#include "sim/experiment.hpp"
+
+namespace nocsim {
+
+SimResult run_workload(const SimConfig& config, const WorkloadSpec& workload) {
+  Simulator sim(config, workload);
+  return sim.run();
+}
+
+AloneIpcCache::AloneIpcCache(SimConfig base) : base_(std::move(base)) {
+  base_.cc = CcMode::None;  // IPC_alone is interference-free by definition
+}
+
+std::vector<double> AloneIpcCache::get(const WorkloadSpec& workload) {
+  std::vector<double> out(workload.app_names.size(), 0.0);
+  for (NodeId i = 0; i < static_cast<NodeId>(workload.app_names.size()); ++i) {
+    const std::string& app = workload.app_names[i];
+    if (app.empty()) continue;
+    auto it = cache_.find(app);
+    if (it == cache_.end()) {
+      // Run the app alone at a central position of the same network.
+      WorkloadSpec alone;
+      alone.category = "alone:" + app;
+      alone.app_names.assign(workload.app_names.size(), "");
+      const NodeId spot = base_.width / 2 + (base_.height / 2) * base_.width;
+      alone.app_names[spot] = app;
+      const SimResult r = run_workload(base_, alone);
+      it = cache_.emplace(app, r.nodes[spot].ipc).first;
+    }
+    out[i] = it->second;
+  }
+  return out;
+}
+
+SimConfig scaled_config(const SimConfig& base, int side) {
+  SimConfig config = base;
+  config.width = side;
+  config.height = side;
+  return config;
+}
+
+}  // namespace nocsim

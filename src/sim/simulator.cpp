@@ -1,0 +1,399 @@
+#include "sim/simulator.hpp"
+
+#include "cpu/file_trace.hpp"
+#include "noc/bless_fabric.hpp"
+#include "noc/buffered_fabric.hpp"
+#include "workload/synth_trace.hpp"
+
+namespace nocsim {
+namespace {
+std::uint64_t splitmix_of(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t s = seed ^ (0x7107 + stream * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+}  // namespace
+
+Simulator::Simulator(SimConfig config, WorkloadSpec workload)
+    : config_(std::move(config)), workload_(std::move(workload)) {
+  const int n = config_.num_nodes();
+  NOCSIM_CHECK_MSG(static_cast<int>(workload_.app_names.size()) == n,
+                   "workload must name one app per node (\"\" for idle)");
+  NOCSIM_CHECK(config_.request_flits >= 1 && config_.response_flits >= 1);
+  NOCSIM_CHECK(config_.l2_latency >= 1);
+
+  topo_ = make_topology(config_.topology, config_.width, config_.height);
+  switch (config_.router) {
+    case RouterKind::Bless:
+      fabric_ = std::make_unique<BlessFabric>(*topo_, config_.router_latency,
+                                              config_.link_latency,
+                                              config_.adaptive_routing
+                                                  ? BlessRouting::MinimalAdaptive
+                                                  : BlessRouting::StrictXY);
+      break;
+    case RouterKind::Buffered:
+      fabric_ = std::make_unique<BufferedFabric>(*topo_, config_.router_latency,
+                                                 config_.link_latency);
+      break;
+  }
+  fabric_->set_eject_sink([this](NodeId at, const Flit& f) { on_flit_ejected(at, f); });
+
+  mapper_ = make_l2_mapper(config_.l2_map, *topo_, config_.locality_lambda);
+
+  switch (config_.cc) {
+    case CcMode::None:
+      controller_ = std::make_unique<NoController>();
+      break;
+    case CcMode::Central:
+      controller_ = std::make_unique<CentralController>(config_.cc_params);
+      break;
+    case CcMode::Static:
+      controller_ = std::make_unique<StaticController>(config_.static_rate);
+      break;
+    case CcMode::Selective:
+      controller_ = std::make_unique<SelectiveStaticController>(config_.selective_rates);
+      break;
+    case CcMode::Distributed:
+      controller_ = std::make_unique<NoController>();  // rates come from the coordinator
+      distributed_.emplace(n, config_.cc_params, config_.dist_params);
+      fabric_->enable_marking();
+      break;
+  }
+
+  cores_.resize(n);
+  nis_.reserve(n);
+  for (NodeId i = 0; i < n; ++i) {
+    nis_.emplace_back([this, i](const Flit& header, Cycle) { on_packet(i, header); });
+    nis_.back().throttler = InjectionThrottler(
+        config_.randomized_throttle_gate ? InjectionThrottler::Gate::Randomized
+                                         : InjectionThrottler::Gate::Deterministic,
+        splitmix_of(config_.seed, static_cast<std::uint64_t>(i)));
+    const std::string& app = workload_.app_names[i];
+    if (app.empty()) continue;
+    // A workload entry is either a catalog application name or
+    // "file:<path>" — a trace in the FileTrace text format.
+    std::unique_ptr<TraceSource> trace;
+    CoreParams core_params = config_.core;
+    if (app.rfind("file:", 0) == 0) {
+      trace = std::make_unique<FileTrace>(FileTrace::load(app.substr(5)));
+    } else {
+      const AppProfile& profile = app_by_name(app);
+      trace = std::make_unique<SyntheticTrace>(profile, config_.seed,
+                                               static_cast<std::uint64_t>(i));
+      // The application's dependence-limited MLP caps outstanding misses
+      // below the hardware MSHR count.
+      core_params.max_outstanding_misses =
+          std::min(core_params.max_outstanding_misses, profile.max_mlp);
+    }
+    cores_[i] = std::make_unique<Core>(i, core_params, std::move(trace),
+                                       [this, i](Addr block) { on_miss(i, block); });
+    cores_[i]->prewarm(config_.prewarm_instructions);
+  }
+
+  l2_wheel_.resize(config_.l2_latency + 1);
+  telemetry_.resize(n);
+  staged_rates_.assign(n, 0.0);
+  epoch_ipf_.resize(n);
+}
+
+void Simulator::enqueue_packet(std::deque<Flit>& q, NodeId src, NodeId dst, PacketKind kind,
+                               Addr addr, int len, PacketSeq seq) {
+  for (int i = 0; i < len; ++i) {
+    Flit f;
+    f.src = src;
+    f.dst = dst;
+    f.kind = kind;
+    f.addr = addr;
+    f.packet = seq;
+    f.flit_idx = static_cast<std::uint16_t>(i);
+    f.packet_len = static_cast<std::uint16_t>(len);
+    f.enqueue_cycle = now_;
+    q.push_back(f);
+  }
+}
+
+void Simulator::on_miss(NodeId n, Addr block) {
+  const NodeId home = mapper_->home(n, block);
+  if (home == n) {
+    // Local slice: no network traversal, just the L2 service latency.
+    l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()].push_back(
+        PendingL2{home, n, block});
+    return;
+  }
+  Ni& ni = nis_[n];
+  enqueue_packet(ni.request_q, n, home, PacketKind::Request, block, config_.request_flits,
+                 ni.next_seq++);
+  // IPF flit attribution (§4): requests the app injects + responses
+  // generated on its behalf. Attributed at creation time.
+  const auto attributed =
+      static_cast<std::uint64_t>(config_.request_flits + config_.response_flits);
+  ni.epoch_flits += attributed;
+  if (measuring_) ni.measure_flits += attributed;
+}
+
+void Simulator::on_flit_ejected(NodeId at, const Flit& f) {
+  nis_[at].reassembly.on_flit(f, now_);
+}
+
+void Simulator::on_packet(NodeId at, const Flit& header) {
+  switch (header.kind) {
+    case PacketKind::Request:
+      // Perfect shared L2: always hits; respond after the service latency.
+      NOCSIM_DCHECK(header.dst == at);
+      l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()].push_back(
+          PendingL2{at, header.src, header.addr});
+      break;
+    case PacketKind::Response:
+      NOCSIM_CHECK_MSG(cores_[at] != nullptr, "response delivered to an idle node");
+      cores_[at]->on_fill(header.addr, now_);
+      if (distributed_ && header.congested_bit) distributed_->on_marked_packet(at, now_);
+      break;
+    case PacketKind::Control:
+      if (at != config_.controller_node) {
+        // Rate-setting packet arrived: adopt the staged rate.
+        nis_[at].throttler.set_rate(staged_rates_[at]);
+      }
+      // Report packets reaching the controller carry telemetry the central
+      // algorithm already consumed (oracle-read at the epoch boundary); the
+      // packet exists to model its bandwidth cost.
+      break;
+  }
+}
+
+void Simulator::deliver_l2(Cycle now) {
+  auto& due = l2_wheel_[now % l2_wheel_.size()];
+  for (const PendingL2& p : due) {
+    if (p.home == p.requester) {
+      cores_[p.requester]->on_fill(p.block, now);
+      continue;
+    }
+    Ni& home_ni = nis_[p.home];
+    enqueue_packet(home_ni.response_q, p.home, p.requester, PacketKind::Response, p.block,
+                   config_.response_flits, home_ni.next_seq++);
+  }
+  due.clear();
+}
+
+void Simulator::ni_inject(NodeId n) {
+  Ni& ni = nis_[n];
+
+  if (distributed_) {
+    const double r = distributed_->rate(n, now_);
+    if (r != ni.throttler.rate()) ni.throttler.set_rate(r);
+  }
+  if (measuring_) ni.rate_integral += ni.throttler.rate();
+
+  const bool has_response = !ni.response_q.empty();
+  const bool has_request = !ni.request_q.empty();
+  if (!has_response && !has_request) {
+    ni.starvation.record(false);
+    ni.starvation_net.record(false);
+    return;
+  }
+  // Network-admission starvation: wants to inject but the router has no
+  // free slot — congestion proper, independent of the throttling gate.
+  ni.starvation_net.record(!fabric_->can_accept(n));
+
+  // One local injection port. On the buffered fabric, packets must inject
+  // atomically (the wormhole local port cannot interleave packets); under
+  // FLIT-BLESS every flit routes independently, so the NI alternates at
+  // flit granularity — long data responses then cannot monopolize the port.
+  // Either way the NI alternates fairly across the two queues: strict
+  // response priority would let a busy home slice lock out its own core's
+  // requests forever. The Algorithm 3 gate applies to request packets only;
+  // a throttled request's slot may still carry a response — response
+  // traffic is never throttled (§5).
+  // The Fig. 2(c) static strawman gates all traffic classes; the real
+  // mechanism gates request-packet heads only.
+  const bool gate_all = (config_.cc == CcMode::Static && config_.static_throttles_responses);
+
+  bool injected = false;
+  if (fabric_->can_accept(n)) {
+    int pick = ni.mid_packet;  // 0 = free choice, 1 = response, 2 = request
+    if (pick == 0) {
+      if (gate_all) {
+        if (!ni.throttler.allow()) {
+          ni.starvation.record(true);  // Algorithm 3: block injection, starved
+          return;
+        }
+        pick = (has_response && (ni.response_turn || !has_request)) ? 1 : 2;
+      } else if (has_response && (ni.response_turn || !has_request)) {
+        pick = 1;
+      } else if (has_request && ni.throttler.allow()) {
+        pick = 2;
+      } else if (has_response) {
+        pick = 1;  // request throttled (or absent); don't waste the port
+      } else {
+        ni.starvation.record(true);  // Algorithm 3: block injection, starved
+        return;
+      }
+    }
+    auto& q = (pick == 1) ? ni.response_q : ni.request_q;
+    NOCSIM_DCHECK(!q.empty());
+    const Flit f = q.front();
+    q.pop_front();
+    fabric_->request_inject(n, f);
+    const bool tail = (f.flit_idx + 1 == f.packet_len);
+    const bool atomic = (config_.router == RouterKind::Buffered);
+    ni.mid_packet = (atomic && !tail) ? pick : 0;
+    ni.response_turn = (pick == 2);
+    injected = true;
+  }
+  ni.starvation.record(!injected);
+
+  if (injected && measuring_ && !injection_trace_.empty()) {
+    const auto bin = static_cast<std::size_t>((now_ - measure_start_) /
+                                              config_.injection_trace_bin);
+    if (bin < injection_trace_[n].size()) ++injection_trace_[n][bin];
+  }
+}
+
+void Simulator::epoch_update() {
+  const int n = config_.num_nodes();
+  for (NodeId i = 0; i < n; ++i) {
+    Ni& ni = nis_[i];
+    const std::uint64_t retired = cores_[i] ? cores_[i]->epoch_retired() : 0;
+    if (cores_[i]) cores_[i]->reset_epoch();
+    const double ipf = ni.epoch_flits
+                           ? static_cast<double>(retired) / static_cast<double>(ni.epoch_flits)
+                           : IpfTracker::kMaxIpf;
+    telemetry_[i] = NodeTelemetry{ipf, ni.starvation.windowed_rate()};
+    ni.epoch_flits = 0;
+    if (measuring_ && config_.record_epoch_ipf && cores_[i]) epoch_ipf_[i].push_back(ipf);
+    if (distributed_) distributed_->set_local_ipf(i, ipf);
+  }
+  if (distributed_) return;  // no central decision
+
+  // Network telemetry: hop inflation over this epoch's delivered flits.
+  const FabricStats& fs = fabric_->stats();
+  NetTelemetry net;
+  const std::uint64_t d_hops = fs.flit_hops_delivered - epoch_hops_at_last_;
+  const std::uint64_t d_min = fs.min_hops_total - epoch_min_hops_at_last_;
+  epoch_hops_at_last_ = fs.flit_hops_delivered;
+  epoch_min_hops_at_last_ = fs.min_hops_total;
+  net.hop_inflation = d_min ? static_cast<double>(d_hops) / static_cast<double>(d_min) : 1.0;
+
+  controller_->on_epoch(now_, telemetry_, net, staged_rates_);
+
+  if (!config_.model_control_traffic) {
+    for (NodeId i = 0; i < n; ++i) nis_[i].throttler.set_rate(staged_rates_[i]);
+    return;
+  }
+  // Model the 2n control packets (§6.6): each node reports to the
+  // controller; the controller sends each node its rate. Rates take effect
+  // when the rate packet is delivered.
+  const NodeId ctrl = config_.controller_node;
+  nis_[ctrl].throttler.set_rate(staged_rates_[ctrl]);
+  for (NodeId i = 0; i < n; ++i) {
+    if (i == ctrl) continue;
+    enqueue_packet(nis_[i].response_q, i, ctrl, PacketKind::Control, 0, 1,
+                   nis_[i].next_seq++);
+    enqueue_packet(nis_[ctrl].response_q, ctrl, i, PacketKind::Control, 0, 1,
+                   nis_[ctrl].next_seq++);
+  }
+}
+
+void Simulator::step() {
+  fabric_->begin_cycle(now_);
+  deliver_l2(now_);
+  const int n = config_.num_nodes();
+  for (NodeId i = 0; i < n; ++i) ni_inject(i);
+  fabric_->step(now_);
+  for (NodeId i = 0; i < n; ++i) {
+    if (cores_[i]) cores_[i]->step(now_);
+  }
+  if ((now_ + 1) % config_.cc_params.epoch == 0) epoch_update();
+  if (distributed_ && (now_ + 1) % config_.dist_params.mark_update_period == 0) {
+    for (NodeId i = 0; i < n; ++i) {
+      fabric_->set_marks_flits(i,
+                               distributed_->should_mark(nis_[i].starvation.windowed_rate()));
+    }
+  }
+  ++now_;
+}
+
+void Simulator::run_cycles(Cycle cycles) {
+  for (Cycle c = 0; c < cycles; ++c) step();
+}
+
+void Simulator::begin_measurement() {
+  measuring_ = true;
+  measure_start_ = now_;
+  fabric_->reset_stats();
+  epoch_hops_at_last_ = 0;  // counters restarted with the stats
+  epoch_min_hops_at_last_ = 0;
+  for (NodeId i = 0; i < config_.num_nodes(); ++i) {
+    if (cores_[i]) cores_[i]->reset_stats();
+    nis_[i].starvation.reset_lifetime();
+    nis_[i].starvation_net.reset_lifetime();
+    nis_[i].measure_flits = 0;
+    nis_[i].rate_integral = 0.0;
+  }
+  epochs_at_measure_start_ = controller_->epochs_total();
+  congested_epochs_at_measure_start_ = controller_->epochs_congested();
+  if (config_.record_injection_trace) {
+    const auto bins = static_cast<std::size_t>(
+        (config_.measure_cycles + config_.injection_trace_bin - 1) /
+        config_.injection_trace_bin);
+    injection_trace_.assign(config_.num_nodes(), std::vector<std::uint64_t>(bins, 0));
+  }
+}
+
+SimResult Simulator::run() {
+  run_cycles(config_.warmup_cycles);
+  begin_measurement();
+  run_cycles(config_.measure_cycles);
+  return collect(config_.measure_cycles);
+}
+
+SimResult Simulator::collect(Cycle measured_cycles) {
+  SimResult result;
+  result.cycles = measured_cycles;
+  result.fabric = fabric_->stats();
+  result.avg_net_latency = result.fabric.net_latency.mean();
+  result.avg_total_latency = result.fabric.total_latency.mean();
+  result.utilization = result.fabric.utilization(fabric_->num_links());
+  result.avg_hops = result.fabric.hops_per_flit.mean();
+  result.avg_deflections = result.fabric.deflections_per_flit.mean();
+  result.power = compute_power(result.fabric, config_.router == RouterKind::Buffered,
+                               config_.num_nodes());
+
+  const auto cycles_d = static_cast<double>(measured_cycles);
+  double starv_sum = 0.0;
+  double starv_net_sum = 0.0;
+  int active = 0;
+  for (NodeId i = 0; i < config_.num_nodes(); ++i) {
+    NodeResult nr;
+    nr.app = workload_.app_names[i];
+    const Ni& ni = nis_[i];
+    if (cores_[i]) {
+      const CoreStats& cs = cores_[i]->stats();
+      nr.retired = cs.retired;
+      nr.ipc = static_cast<double>(cs.retired) / cycles_d;
+      nr.l1_miss_rate = cores_[i]->l1_stats().miss_rate();
+      ++active;
+      starv_sum += ni.starvation.lifetime_rate();
+      starv_net_sum += ni.starvation_net.lifetime_rate();
+    }
+    nr.flits = ni.measure_flits;
+    nr.ipf = ni.measure_flits ? static_cast<double>(nr.retired) /
+                                    static_cast<double>(ni.measure_flits)
+                              : IpfTracker::kMaxIpf;
+    nr.starvation = ni.starvation.lifetime_rate();
+    nr.starvation_network = ni.starvation_net.lifetime_rate();
+    nr.mean_throttle_rate = ni.rate_integral / cycles_d;
+    nr.epoch_ipf = epoch_ipf_[i];
+    result.nodes.push_back(std::move(nr));
+  }
+  result.avg_starvation = active ? starv_sum / active : 0.0;
+  result.avg_starvation_network = active ? starv_net_sum / active : 0.0;
+
+  const std::uint64_t epochs = controller_->epochs_total() - epochs_at_measure_start_;
+  const std::uint64_t congested =
+      controller_->epochs_congested() - congested_epochs_at_measure_start_;
+  result.congested_epoch_fraction =
+      epochs ? static_cast<double>(congested) / static_cast<double>(epochs) : 0.0;
+  result.injection_trace = injection_trace_;
+  return result;
+}
+
+}  // namespace nocsim

@@ -1,0 +1,123 @@
+// The closed-loop system simulator: cores + private L1s + distributed
+// perfect L2 + network interfaces + fabric + congestion controller.
+//
+// This is the paper's methodology (§6.1): a cycle-level model in which the
+// network's backpressure feeds back into the cores' presented load. Every
+// cycle:
+//   1. the fabric latches arrivals (begin_cycle);
+//   2. due L2 responses/local fills are delivered to the NIs;
+//   3. every NI attempts to inject at most one flit — responses first and
+//      never throttled, then requests through the Algorithm 3 gate — and
+//      records its starvation bit;
+//   4. the fabric routes and moves flits; ejections flow through packet
+//      reassembly into the L2 slices (requests) and cores (responses);
+//   5. cores retire and issue; L1 misses enqueue new request packets;
+//   6. at epoch boundaries the congestion controller updates throttle
+//      rates from (IPF, sigma) telemetry.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/distributed.hpp"
+#include "core/monitor.hpp"
+#include "core/throttler.hpp"
+#include "cpu/core.hpp"
+#include "cpu/l2map.hpp"
+#include "noc/fabric.hpp"
+#include "noc/reassembly.hpp"
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "workload/workload.hpp"
+
+namespace nocsim {
+
+class Simulator {
+ public:
+  Simulator(SimConfig config, WorkloadSpec workload);
+
+  /// Warmup (stats discarded) then measurement; returns the full result.
+  SimResult run();
+
+  /// Finer-grained control (tests): advance some cycles without the
+  /// warmup/measure bookkeeping of run().
+  void run_cycles(Cycle n);
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] const Fabric& fabric() const { return *fabric_; }
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] const CongestionController* controller() const { return controller_.get(); }
+  [[nodiscard]] const Core* core(NodeId n) const { return cores_[n].get(); }
+  [[nodiscard]] double throttle_rate(NodeId n) const { return nis_[n].throttler.rate(); }
+  [[nodiscard]] double starvation_window_rate(NodeId n) const {
+    return nis_[n].starvation.windowed_rate();
+  }
+
+ private:
+  struct Ni {
+    explicit Ni(ReassemblyTable::PacketSink sink) : reassembly(std::move(sink)) {}
+    std::deque<Flit> request_q;
+    std::deque<Flit> response_q;  ///< responses + control traffic; never throttled
+    ReassemblyTable reassembly;
+    InjectionThrottler throttler;
+    StarvationMonitor starvation{128};      ///< Algorithm 2 sigma (gate blocks count)
+    StarvationMonitor starvation_net{128};  ///< network-admission blocks only
+    PacketSeq next_seq = 0;
+    bool response_turn = true;        ///< fair alternation between the queues
+    int mid_packet = 0;               ///< 0 none, 1 response, 2 request in flight
+    std::uint64_t epoch_flits = 0;    ///< flits attributed this epoch (IPF denom)
+    std::uint64_t measure_flits = 0;  ///< flits attributed in the measurement window
+    double rate_integral = 0.0;       ///< sum of applied throttle rate per cycle
+  };
+
+  /// A serviced request waiting out the L2 latency.
+  struct PendingL2 {
+    NodeId home;
+    NodeId requester;
+    Addr block;
+  };
+
+  void step();
+  void ni_inject(NodeId n);
+  void enqueue_packet(std::deque<Flit>& q, NodeId src, NodeId dst, PacketKind kind, Addr addr,
+                      int len, PacketSeq seq);
+  void on_miss(NodeId n, Addr block);
+  void on_flit_ejected(NodeId at, const Flit& f);
+  void on_packet(NodeId at, const Flit& header);
+  void deliver_l2(Cycle now);
+  void epoch_update();
+  void begin_measurement();
+  SimResult collect(Cycle measured_cycles);
+
+  SimConfig config_;
+  WorkloadSpec workload_;
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<L2Mapper> mapper_;
+  std::unique_ptr<CongestionController> controller_;
+  std::optional<DistributedCoordinator> distributed_;
+
+  std::vector<std::unique_ptr<Core>> cores_;  ///< null entry = idle node
+  std::vector<Ni> nis_;
+  std::vector<std::vector<PendingL2>> l2_wheel_;
+
+  std::vector<NodeTelemetry> telemetry_;
+  std::vector<double> staged_rates_;
+
+  Cycle now_ = 0;
+  std::uint64_t epoch_hops_at_last_ = 0;      ///< hop-inflation deltas per epoch
+  std::uint64_t epoch_min_hops_at_last_ = 0;
+  bool measuring_ = false;
+  Cycle measure_start_ = 0;
+  std::uint64_t epochs_at_measure_start_ = 0;
+  std::uint64_t congested_epochs_at_measure_start_ = 0;
+
+  std::vector<std::vector<double>> epoch_ipf_;  ///< [node][epoch] when recorded
+  std::vector<std::vector<std::uint64_t>> injection_trace_;
+};
+
+}  // namespace nocsim

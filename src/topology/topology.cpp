@@ -1,0 +1,83 @@
+#include "topology/topology.hpp"
+
+#include <cstdlib>
+
+namespace nocsim {
+namespace {
+
+// Coordinate convention: x grows East, y grows South (row-major, row 0 on
+// the "north" edge).
+Coord step(Coord c, Dir d) {
+  switch (d) {
+    case Dir::North: return {c.x, c.y - 1};
+    case Dir::East: return {c.x + 1, c.y};
+    case Dir::South: return {c.x, c.y + 1};
+    case Dir::West: return {c.x - 1, c.y};
+    case Dir::Local: return c;
+  }
+  return c;
+}
+
+}  // namespace
+
+NodeId Mesh::neighbor(NodeId n, Dir d) const {
+  const Coord c = step(coord_of(n), d);
+  if (c.x < 0 || c.x >= width_ || c.y < 0 || c.y >= height_) return kInvalidNode;
+  return node_at(c);
+}
+
+int Mesh::distance(NodeId a, NodeId b) const {
+  const Coord ca = coord_of(a), cb = coord_of(b);
+  return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+RoutePreference Mesh::route_preference(NodeId from, NodeId to) const {
+  const Coord cf = coord_of(from), ct = coord_of(to);
+  RoutePreference pref;
+  if (cf.x != ct.x)
+    pref.dirs[pref.count++] = (ct.x > cf.x) ? Dir::East : Dir::West;
+  if (cf.y != ct.y)
+    pref.dirs[pref.count++] = (ct.y > cf.y) ? Dir::South : Dir::North;
+  return pref;
+}
+
+NodeId Torus::neighbor(NodeId n, Dir d) const {
+  Coord c = step(coord_of(n), d);
+  c.x = (c.x + width_) % width_;
+  c.y = (c.y + height_) % height_;
+  return node_at(c);
+}
+
+namespace {
+// Signed shortest offset from `a` to `b` on a ring of size `n`, in
+// (-n/2, n/2]. Positive means travel in the increasing direction.
+int ring_offset(int a, int b, int n) {
+  int fwd = (b - a + n) % n;       // hops in the increasing direction
+  if (fwd * 2 > n) fwd -= n;       // shorter the other way (ties stay positive)
+  return fwd;
+}
+}  // namespace
+
+int Torus::distance(NodeId a, NodeId b) const {
+  const Coord ca = coord_of(a), cb = coord_of(b);
+  return std::abs(ring_offset(ca.x, cb.x, width_)) + std::abs(ring_offset(ca.y, cb.y, height_));
+}
+
+RoutePreference Torus::route_preference(NodeId from, NodeId to) const {
+  const Coord cf = coord_of(from), ct = coord_of(to);
+  RoutePreference pref;
+  const int dx = ring_offset(cf.x, ct.x, width_);
+  const int dy = ring_offset(cf.y, ct.y, height_);
+  if (dx != 0) pref.dirs[pref.count++] = (dx > 0) ? Dir::East : Dir::West;
+  if (dy != 0) pref.dirs[pref.count++] = (dy > 0) ? Dir::South : Dir::North;
+  return pref;
+}
+
+std::unique_ptr<Topology> make_topology(const std::string& name, int width, int height) {
+  if (name == "mesh") return std::make_unique<Mesh>(width, height);
+  if (name == "torus") return std::make_unique<Torus>(width, height);
+  NOCSIM_CHECK_MSG(false, "unknown topology name (expected 'mesh' or 'torus')");
+  return nullptr;
+}
+
+}  // namespace nocsim

@@ -1,0 +1,105 @@
+// Network topologies: 2D mesh (the paper's primary design point) and 2D
+// torus (checked in §6.3 to show the same scalability trends).
+//
+// A topology maps NodeId <-> (x, y) coordinates, answers neighbour queries,
+// and computes hop distances. Routing preferences (which output ports move a
+// flit closer to its destination) live here too, since they are pure
+// functions of the topology.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace nocsim {
+
+struct Coord {
+  int x = 0;
+  int y = 0;
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Up to two productive directions (x first, then y: dimension-order) plus
+/// how many are valid. With XY routing the first valid entry is *the*
+/// preferred port; the second is the port that becomes preferred after the
+/// x-offset is consumed (useful for deflection-tolerant port ranking).
+struct RoutePreference {
+  std::array<Dir, 2> dirs{Dir::Local, Dir::Local};
+  int count = 0;  ///< 0 means "already at destination"
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int num_nodes() const { return width_ * height_; }
+
+  [[nodiscard]] Coord coord_of(NodeId n) const {
+    NOCSIM_DCHECK(n >= 0 && n < num_nodes());
+    return {n % width_, n / width_};
+  }
+
+  [[nodiscard]] NodeId node_at(Coord c) const {
+    NOCSIM_DCHECK(c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_);
+    return c.y * width_ + c.x;
+  }
+
+  /// Neighbour of `n` through output port `d`, or kInvalidNode at a mesh edge.
+  [[nodiscard]] virtual NodeId neighbor(NodeId n, Dir d) const = 0;
+
+  /// Minimal hop distance between two nodes.
+  [[nodiscard]] virtual int distance(NodeId a, NodeId b) const = 0;
+
+  /// Dimension-order (XY) productive ports from `from` toward `to`.
+  [[nodiscard]] virtual RoutePreference route_preference(NodeId from, NodeId to) const = 0;
+
+  /// Number of usable neighbour ports at `n` (4 in torus; 2-4 at mesh edges).
+  [[nodiscard]] int degree(NodeId n) const {
+    int deg = 0;
+    for (int d = 0; d < kNumDirs; ++d)
+      if (neighbor(n, static_cast<Dir>(d)) != kInvalidNode) ++deg;
+    return deg;
+  }
+
+ protected:
+  Topology(int width, int height) : width_(width), height_(height) {
+    NOCSIM_CHECK(width > 0 && height > 0);
+  }
+
+  int width_;
+  int height_;
+};
+
+/// 2D mesh: no wraparound; edge routers have degree 2 or 3.
+class Mesh final : public Topology {
+ public:
+  Mesh(int width, int height) : Topology(width, height) {}
+
+  [[nodiscard]] std::string name() const override { return "mesh"; }
+  [[nodiscard]] NodeId neighbor(NodeId n, Dir d) const override;
+  [[nodiscard]] int distance(NodeId a, NodeId b) const override;
+  [[nodiscard]] RoutePreference route_preference(NodeId from, NodeId to) const override;
+};
+
+/// 2D torus: wraparound links; XY routing takes the shorter way around each
+/// dimension (ties go to the positive direction).
+class Torus final : public Topology {
+ public:
+  Torus(int width, int height) : Topology(width, height) {}
+
+  [[nodiscard]] std::string name() const override { return "torus"; }
+  [[nodiscard]] NodeId neighbor(NodeId n, Dir d) const override;
+  [[nodiscard]] int distance(NodeId a, NodeId b) const override;
+  [[nodiscard]] RoutePreference route_preference(NodeId from, NodeId to) const override;
+};
+
+/// Factory used by config-driven construction.
+std::unique_ptr<Topology> make_topology(const std::string& name, int width, int height);
+
+}  // namespace nocsim

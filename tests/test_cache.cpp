@@ -1,0 +1,101 @@
+#include "cpu/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nocsim {
+namespace {
+
+SetAssocCache table2_l1() { return SetAssocCache(128 * 1024, 4, 32); }
+
+TEST(Cache, GeometryMatchesTable2) {
+  auto l1 = table2_l1();
+  EXPECT_EQ(l1.num_sets(), 1024u);  // 128 KB / (32 B * 4 ways)
+  EXPECT_EQ(l1.ways(), 4);
+  EXPECT_EQ(l1.block_bytes(), 32u);
+}
+
+TEST(Cache, MissThenHitAfterFill) {
+  auto l1 = table2_l1();
+  EXPECT_FALSE(l1.access(42));
+  EXPECT_FALSE(l1.access(42));  // access does not allocate
+  l1.fill(42);
+  EXPECT_TRUE(l1.access(42));
+  EXPECT_EQ(l1.stats().hits, 1u);
+  EXPECT_EQ(l1.stats().misses, 2u);
+}
+
+TEST(Cache, BlockOfUsesBlockBytes) {
+  auto l1 = table2_l1();
+  EXPECT_EQ(l1.block_of(0), 0u);
+  EXPECT_EQ(l1.block_of(31), 0u);
+  EXPECT_EQ(l1.block_of(32), 1u);
+  EXPECT_EQ(l1.block_of(100), 3u);
+}
+
+TEST(Cache, AssociativityConflictEvictsLru) {
+  auto l1 = table2_l1();
+  // Five blocks in the same set (stride = num_sets): only 4 ways.
+  const Addr stride = 1024;
+  for (Addr i = 0; i < 5; ++i) l1.fill(7 + i * stride);
+  EXPECT_FALSE(l1.contains(7 + 0 * stride)) << "LRU block should be evicted";
+  for (Addr i = 1; i < 5; ++i) EXPECT_TRUE(l1.contains(7 + i * stride));
+}
+
+TEST(Cache, LruUpdatedByAccess) {
+  auto l1 = table2_l1();
+  const Addr stride = 1024;
+  for (Addr i = 0; i < 4; ++i) l1.fill(i * stride);
+  // Touch block 0 so block at stride*1 becomes LRU.
+  EXPECT_TRUE(l1.access(0));
+  l1.fill(4 * stride);
+  EXPECT_TRUE(l1.contains(0));
+  EXPECT_FALSE(l1.contains(1 * stride));
+}
+
+TEST(Cache, RefillOfPresentBlockIsIdempotent) {
+  auto l1 = table2_l1();
+  l1.fill(5);
+  l1.fill(5);
+  l1.fill(5);
+  EXPECT_TRUE(l1.contains(5));
+  // No duplicate lines: fill three conflicting blocks; 5 must survive since
+  // it is the most recently (re)filled of four.
+  const Addr stride = 1024;
+  l1.fill(5 + stride);
+  l1.fill(5 + 2 * stride);
+  l1.fill(5 + 3 * stride);
+  EXPECT_TRUE(l1.contains(5));
+}
+
+TEST(Cache, WorkingSetSmallerThanCacheAlwaysHitsWarm) {
+  auto l1 = table2_l1();
+  for (Addr b = 0; b < 4096; ++b) l1.fill(b);
+  l1.reset_stats();
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) ASSERT_TRUE(l1.access(rng.next_below(4096)));
+  EXPECT_EQ(l1.stats().miss_rate(), 0.0);
+}
+
+TEST(Cache, WorkingSetMuchLargerThanCacheMostlyMisses) {
+  auto l1 = table2_l1();
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    const Addr b = rng.next_below(1u << 22);  // 4M blocks >> 4096 lines
+    if (!l1.access(b)) l1.fill(b);
+  }
+  EXPECT_GT(l1.stats().miss_rate(), 0.99);
+}
+
+TEST(Cache, ResetStatsKeepsContents) {
+  auto l1 = table2_l1();
+  l1.fill(1);
+  EXPECT_TRUE(l1.access(1));
+  l1.reset_stats();
+  EXPECT_EQ(l1.stats().hits, 0u);
+  EXPECT_TRUE(l1.contains(1));
+}
+
+}  // namespace
+}  // namespace nocsim

@@ -1,0 +1,267 @@
+// Unit tests for the congestion-control primitives: the Algorithm 3 gate,
+// the starvation monitor and IPF tracker (Algorithm 2 / §4), and the
+// central controller (Algorithm 1, Eqs. 1-2).
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/distributed.hpp"
+#include "core/monitor.hpp"
+#include "core/throttler.hpp"
+
+namespace nocsim {
+namespace {
+
+// ---------------------------------------------------------------- throttler
+
+TEST(Throttler, ZeroRateAlwaysAllows) {
+  InjectionThrottler t(InjectionThrottler::Gate::Deterministic);
+  t.set_rate(0.0);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(t.allow());
+  EXPECT_FALSE(t.active());
+}
+
+TEST(Throttler, DeterministicGateBlocksExactFraction) {
+  for (const double rate : {0.25, 0.5, 0.75, 0.9}) {
+    InjectionThrottler t(InjectionThrottler::Gate::Deterministic);
+    t.set_rate(rate);
+    int blocked = 0;
+    const int n = 128 * 100;  // whole wraps
+    for (int i = 0; i < n; ++i) blocked += !t.allow();
+    EXPECT_DOUBLE_EQ(static_cast<double>(blocked) / n,
+                     std::floor(rate * 128) / 128.0)
+        << "rate " << rate;
+  }
+}
+
+TEST(Throttler, DeterministicGateBlocksInOneRunPerWrap) {
+  InjectionThrottler t(InjectionThrottler::Gate::Deterministic);
+  t.set_rate(0.5);
+  // Count transitions blocked->allowed within wraps: exactly one per wrap.
+  int transitions = 0;
+  bool prev = t.allow();
+  for (int i = 1; i < 128 * 10; ++i) {
+    const bool cur = t.allow();
+    if (!prev && cur) ++transitions;
+    prev = cur;
+  }
+  EXPECT_LE(transitions, 10);
+}
+
+TEST(Throttler, RandomizedGateBlocksExpectedFraction) {
+  InjectionThrottler t(InjectionThrottler::Gate::Randomized, 99);
+  t.set_rate(0.6);
+  int blocked = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) blocked += !t.allow();
+  EXPECT_NEAR(static_cast<double>(blocked) / n, 0.6, 0.01);
+}
+
+TEST(Throttler, RandomizedGateDeterministicPerSeed) {
+  InjectionThrottler a(InjectionThrottler::Gate::Randomized, 5);
+  InjectionThrottler b(InjectionThrottler::Gate::Randomized, 5);
+  a.set_rate(0.4);
+  b.set_rate(0.4);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.allow(), b.allow());
+}
+
+// ------------------------------------------------------------------ monitor
+
+TEST(StarvationMonitor, WindowedVsLifetime) {
+  StarvationMonitor m(4);
+  for (int i = 0; i < 4; ++i) m.record(true);
+  for (int i = 0; i < 4; ++i) m.record(false);
+  EXPECT_DOUBLE_EQ(m.windowed_rate(), 0.0);   // last 4 were false
+  EXPECT_DOUBLE_EQ(m.lifetime_rate(), 0.5);
+  m.reset_lifetime();
+  EXPECT_DOUBLE_EQ(m.lifetime_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.windowed_rate(), 0.0);
+}
+
+TEST(IpfTracker, RatioAndCap) {
+  IpfTracker t;
+  t.add_instructions(1000);
+  t.add_flits(100);
+  EXPECT_DOUBLE_EQ(t.ipf(), 10.0);
+  EXPECT_DOUBLE_EQ(t.harvest(), 10.0);
+  EXPECT_DOUBLE_EQ(t.ipf(), IpfTracker::kMaxIpf);  // no flits after reset
+}
+
+// ------------------------------------------------------------------ params
+
+TEST(CcParams, Equation1Threshold) {
+  CcParams p;  // defaults: alpha 0.4, beta 0, gamma 0.7
+  EXPECT_DOUBLE_EQ(p.starve_threshold(1.0), 0.4);
+  EXPECT_DOUBLE_EQ(p.starve_threshold(0.5), 0.7);     // capped by gamma
+  EXPECT_NEAR(p.starve_threshold(100.0), 0.004, 1e-12);
+}
+
+TEST(CcParams, Equation2Rate) {
+  CcParams p;  // alpha 0.9, beta 0.2, gamma 0.75
+  EXPECT_DOUBLE_EQ(p.throttle_rate(1.0), 0.75);       // 0.2+0.9 capped
+  EXPECT_DOUBLE_EQ(p.throttle_rate(3.0), 0.5);        // 0.2+0.3
+  EXPECT_NEAR(p.throttle_rate(1000.0), 0.2009, 1e-4); // floor ~beta
+}
+
+// --------------------------------------------------------------- controller
+
+std::vector<double> run_epoch(CentralController& c, std::vector<NodeTelemetry> t,
+                              NetTelemetry net = {}) {
+  std::vector<double> rates(t.size(), -1.0);
+  c.on_epoch(0, t, net, rates);
+  return rates;
+}
+
+TEST(CentralController, NoCongestionMeansNoThrottling) {
+  CentralController c((CcParams()));
+  const auto rates = run_epoch(c, {{1.0, 0.1}, {50.0, 0.0}});  // sigma below thresholds
+  EXPECT_EQ(rates[0], 0.0);
+  EXPECT_EQ(rates[1], 0.0);
+  EXPECT_FALSE(c.last_congested());
+}
+
+TEST(CentralController, SingleCongestedNodeActivatesThrottling) {
+  CentralController c((CcParams()));
+  // Node 1 (IPF 50, threshold ~0.008) is starved -> system congested.
+  const auto rates = run_epoch(c, {{1.0, 0.1}, {50.0, 0.05}});
+  EXPECT_TRUE(c.last_congested());
+  // Node 0 has IPF below mean(25.5): throttled at Eq.2 = 0.75.
+  EXPECT_DOUBLE_EQ(rates[0], 0.75);
+  // Node 1 is above the mean: not throttled.
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+TEST(CentralController, IntensiveNodesToleratedByEq1) {
+  CentralController c((CcParams()));
+  // IPF 1 node starved at 0.35 < its threshold 0.4: NOT congested.
+  const auto rates = run_epoch(c, {{1.0, 0.35}, {50.0, 0.0}});
+  EXPECT_FALSE(c.last_congested());
+  EXPECT_EQ(rates[0], 0.0);
+}
+
+TEST(CentralController, ZeroTrafficNodesExcludedFromMean) {
+  CentralController c((CcParams()));
+  // Two idle nodes report the cap; the real mean is (1+19)/2 = 10.
+  const auto rates = run_epoch(
+      c, {{1.0, 0.5}, {19.0, 0.1}, {kIpfCap, 0.0}, {kIpfCap, 0.0}});
+  EXPECT_TRUE(c.last_congested());
+  EXPECT_DOUBLE_EQ(c.last_mean_ipf(), 10.0);
+  EXPECT_GT(rates[0], 0.0);   // below mean -> throttled
+  EXPECT_EQ(rates[1], 0.0);   // above mean -> free
+  EXPECT_EQ(rates[2], 0.0);   // idle -> free
+}
+
+TEST(CentralController, AllIdleNeverThrottles) {
+  CentralController c((CcParams()));
+  const auto rates = run_epoch(c, {{kIpfCap, 0.0}, {kIpfCap, 0.0}});
+  EXPECT_EQ(rates[0], 0.0);
+  EXPECT_EQ(rates[1], 0.0);
+}
+
+TEST(CentralController, EpochCountersTrackCongestion) {
+  CentralController c((CcParams()));
+  std::vector<NodeTelemetry> congested = {{1.0, 0.6}};
+  std::vector<NodeTelemetry> calm = {{1.0, 0.0}};
+  std::vector<double> rates(1);
+  c.on_epoch(0, congested, {}, rates);
+  c.on_epoch(1, calm, {}, rates);
+  c.on_epoch(2, congested, {}, rates);
+  EXPECT_EQ(c.epochs_total(), 3u);
+  EXPECT_EQ(c.epochs_congested(), 2u);
+}
+
+TEST(StaticController, UniformRate) {
+  StaticController c(0.4);
+  std::vector<NodeTelemetry> t(3);
+  std::vector<double> rates(3, -1.0);
+  c.on_epoch(0, t, {}, rates);
+  for (const double r : rates) EXPECT_DOUBLE_EQ(r, 0.4);
+}
+
+TEST(SelectiveController, PerNodeRates) {
+  SelectiveStaticController c({0.9, 0.0, 0.3});
+  std::vector<NodeTelemetry> t(3);
+  std::vector<double> rates(3, -1.0);
+  c.on_epoch(0, t, {}, rates);
+  EXPECT_DOUBLE_EQ(rates[0], 0.9);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+  EXPECT_DOUBLE_EQ(rates[2], 0.3);
+}
+
+// --------------------------------------------------------------- escalation
+
+TEST(CentralController, EscalationRaisesRatesUnderHopInflation) {
+  CcParams p;
+  p.escalation = true;
+  CentralController c(p);
+  const std::vector<NodeTelemetry> congested = {{1.0, 0.6}, {50.0, 0.0}};
+  std::vector<double> rates(2);
+  c.on_epoch(0, congested, NetTelemetry{8.0}, rates);  // orbiting network
+  EXPECT_GT(c.escalation(), 1.0);
+  c.on_epoch(1, congested, NetTelemetry{8.0}, rates);
+  c.on_epoch(2, congested, NetTelemetry{8.0}, rates);
+  EXPECT_GT(rates[0], p.gamma_throt) << "escalation should exceed the gamma ceiling";
+  EXPECT_LE(rates[0], p.rate_ceiling);
+  EXPECT_EQ(rates[1], 0.0) << "above-mean node stays free regardless";
+}
+
+TEST(CentralController, EscalationDecaysWhenInflationClears) {
+  CcParams p;
+  CentralController c(p);
+  const std::vector<NodeTelemetry> congested = {{1.0, 0.6}, {50.0, 0.0}};
+  std::vector<double> rates(2);
+  for (int e = 0; e < 5; ++e) c.on_epoch(e, congested, NetTelemetry{8.0}, rates);
+  const double peak = c.escalation();
+  ASSERT_GT(peak, 1.0);
+  for (int e = 5; e < 40; ++e) c.on_epoch(e, congested, NetTelemetry{1.5}, rates);
+  EXPECT_DOUBLE_EQ(c.escalation(), 1.0);
+  EXPECT_DOUBLE_EQ(rates[0], p.gamma_throt);  // back to Eq. 2 verbatim
+}
+
+TEST(CentralController, EscalationDisabledIsPaperVerbatim) {
+  CcParams p;
+  p.escalation = false;
+  CentralController c(p);
+  const std::vector<NodeTelemetry> congested = {{1.0, 0.6}, {50.0, 0.0}};
+  std::vector<double> rates(2);
+  for (int e = 0; e < 10; ++e) c.on_epoch(e, congested, NetTelemetry{10.0}, rates);
+  EXPECT_DOUBLE_EQ(c.escalation(), 1.0);
+  EXPECT_DOUBLE_EQ(rates[0], 0.75);
+}
+
+TEST(CentralController, EscalationNeverExceedsRateCeiling) {
+  CcParams p;
+  CentralController c(p);
+  const std::vector<NodeTelemetry> congested = {{0.4, 0.7}, {50.0, 0.0}};
+  std::vector<double> rates(2);
+  for (int e = 0; e < 50; ++e) {
+    c.on_epoch(e, congested, NetTelemetry{20.0}, rates);
+    ASSERT_LE(rates[0], p.rate_ceiling);
+  }
+}
+
+// -------------------------------------------------------------- distributed
+
+TEST(Distributed, MarkThresholdAndHold) {
+  DistributedCoordinator d(2, CcParams{}, DistributedCcParams{0.30, 1000, 128});
+  EXPECT_FALSE(d.should_mark(0.2));
+  EXPECT_TRUE(d.should_mark(0.5));
+  EXPECT_EQ(d.rate(0, 0), 0.0);
+  d.set_local_ipf(0, 1.0);
+  d.on_marked_packet(0, 100);
+  EXPECT_DOUBLE_EQ(d.rate(0, 100), 0.75);   // Eq. 2 at IPF 1
+  EXPECT_DOUBLE_EQ(d.rate(0, 1099), 0.75);  // still within hold
+  EXPECT_DOUBLE_EQ(d.rate(0, 1100), 0.0);   // hold expired
+  EXPECT_EQ(d.rate(1, 100), 0.0);           // other node unaffected
+  EXPECT_EQ(d.marks_received(), 1u);
+}
+
+TEST(Distributed, RefreshedMarksExtendHold) {
+  DistributedCoordinator d(1, CcParams{}, DistributedCcParams{0.30, 1000, 128});
+  d.set_local_ipf(0, 2.0);
+  d.on_marked_packet(0, 0);
+  d.on_marked_packet(0, 900);
+  EXPECT_GT(d.rate(0, 1500), 0.0);  // extended past the first hold
+}
+
+}  // namespace
+}  // namespace nocsim

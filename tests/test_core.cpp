@@ -1,0 +1,142 @@
+#include "cpu/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+namespace nocsim {
+namespace {
+
+/// Scripted trace for precise core tests.
+class ScriptTrace final : public TraceSource {
+ public:
+  explicit ScriptTrace(std::vector<Insn> script, Insn fill = {false, 0})
+      : script_(std::move(script)), fill_(fill) {}
+  Insn next() override {
+    if (pos_ < script_.size()) return script_[pos_++];
+    return fill_;
+  }
+
+ private:
+  std::vector<Insn> script_;
+  std::size_t pos_ = 0;
+  Insn fill_;
+};
+
+struct Harness {
+  explicit Harness(std::vector<Insn> script, CoreParams params = {}) {
+    core = std::make_unique<Core>(
+        0, params, std::make_unique<ScriptTrace>(std::move(script)),
+        [this](Addr block) { misses.push_back(block); });
+  }
+  std::unique_ptr<Core> core;
+  std::vector<Addr> misses;
+};
+
+TEST(Core, IssueWidthBoundsIpc) {
+  // Pure non-memory stream: IPC == issue width (3) once the pipeline fills.
+  Harness h({});
+  for (Cycle t = 0; t < 1000; ++t) h.core->step(t);
+  EXPECT_NEAR(static_cast<double>(h.core->stats().retired) / 1000.0, 3.0, 0.02);
+  EXPECT_TRUE(h.misses.empty());
+}
+
+TEST(Core, MissBlocksRetirementUntilFill) {
+  Harness h({{true, 64}});
+  h.core->step(0);
+  ASSERT_EQ(h.misses.size(), 1u);
+  EXPECT_EQ(h.misses[0], 2u);  // byte 64 = block 2
+  // Head is waiting: retirement stops after the pre-miss instructions drain.
+  for (Cycle t = 1; t < 50; ++t) h.core->step(t);
+  const auto retired_blocked = h.core->stats().retired;
+  EXPECT_EQ(retired_blocked, 0u);  // the miss is the very first instruction
+  h.core->on_fill(2, 50);
+  for (Cycle t = 51; t < 60; ++t) h.core->step(t);
+  EXPECT_GT(h.core->stats().retired, retired_blocked);
+}
+
+TEST(Core, WindowFillsWhileHeadWaits) {
+  CoreParams p;
+  p.window_size = 16;
+  Harness h({{true, 0}}, p);
+  for (Cycle t = 0; t < 100; ++t) h.core->step(t);
+  EXPECT_EQ(h.core->window_occupancy(), 16);  // full behind the stalled head
+  EXPECT_GT(h.core->stats().window_full_cycles, 0u);
+}
+
+TEST(Core, MshrCoalescesSameBlock) {
+  // Three accesses to the same block, interleaved with fillers: one request.
+  std::vector<Insn> script;
+  for (int i = 0; i < 3; ++i) {
+    script.push_back({true, 128});
+    script.push_back({false, 0});
+  }
+  Harness h(std::move(script));
+  for (Cycle t = 0; t < 20; ++t) h.core->step(t);
+  EXPECT_EQ(h.misses.size(), 1u);
+  EXPECT_EQ(h.core->outstanding_misses(), 1u);
+  EXPECT_EQ(h.core->stats().retired, 0u);  // head blocked; nothing retires
+  h.core->on_fill(4, 20);
+  EXPECT_EQ(h.core->outstanding_misses(), 0u);
+  for (Cycle t = 21; t < 40; ++t) h.core->step(t);
+  EXPECT_GE(h.core->stats().retired, 6u);  // all coalesced waiters completed
+}
+
+TEST(Core, MshrLimitStallsNewMisses) {
+  CoreParams p;
+  p.max_outstanding_misses = 2;
+  // Distinct blocks, all misses.
+  std::vector<Insn> script;
+  for (int i = 0; i < 10; ++i) script.push_back({true, static_cast<Addr>(i) * 32});
+  Harness h(std::move(script), p);
+  for (Cycle t = 0; t < 100; ++t) h.core->step(t);
+  EXPECT_EQ(h.misses.size(), 2u);  // further misses stalled at the front end
+  h.core->on_fill(0, 100);
+  for (Cycle t = 101; t < 120; ++t) h.core->step(t);
+  EXPECT_EQ(h.misses.size(), 3u);  // one MSHR freed, one new miss issued
+}
+
+TEST(Core, MemIssueWidthOnePerCycle) {
+  // All-memory stream hitting a warm block: at most 1 mem issue per cycle.
+  CoreParams p;
+  Harness h(std::vector<Insn>(500, Insn{true, 0}), p);
+  h.core->prewarm(10);  // warm block 0
+  for (Cycle t = 0; t < 100; ++t) h.core->step(t);
+  EXPECT_LE(h.core->stats().mem_issued, 101u);
+  EXPECT_GE(h.core->stats().mem_issued, 90u);
+}
+
+TEST(Core, InOrderRetirementBlocksBehindMissHead) {
+  // A missing head instruction holds back every younger (completed)
+  // instruction until its fill arrives.
+  Harness h({{true, 0}});
+  for (Cycle t = 0; t < 5; ++t) h.core->step(t);
+  ASSERT_EQ(h.misses.size(), 1u);
+  EXPECT_EQ(h.core->stats().retired, 0u);
+  EXPECT_GT(h.core->stats().issued, 1u);  // younger non-mem insns issued
+  h.core->on_fill(0, 5);
+  for (Cycle t = 6; t < 10; ++t) h.core->step(t);
+  EXPECT_GT(h.core->stats().retired, 0u);
+}
+
+TEST(Core, EpochCounterResets) {
+  Harness h({});
+  for (Cycle t = 0; t < 100; ++t) h.core->step(t);
+  EXPECT_GT(h.core->epoch_retired(), 0u);
+  h.core->reset_epoch();
+  EXPECT_EQ(h.core->epoch_retired(), 0u);
+  EXPECT_GT(h.core->stats().retired, 0u);  // lifetime stats unaffected
+}
+
+TEST(Core, PrewarmWarmsCacheWithoutTiming) {
+  std::vector<Insn> script(100, Insn{true, 0});
+  Harness h(std::move(script));
+  h.core->prewarm(50);  // consumes 50 of the memory accesses, warms block 0
+  for (Cycle t = 0; t < 50; ++t) h.core->step(t);
+  EXPECT_TRUE(h.misses.empty()) << "block was prewarmed; no network miss expected";
+  EXPECT_GT(h.core->stats().retired, 0u);
+}
+
+}  // namespace
+}  // namespace nocsim

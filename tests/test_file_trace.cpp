@@ -1,0 +1,94 @@
+#include "cpu/file_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "workload/synth_trace.hpp"
+
+namespace nocsim {
+namespace {
+
+TEST(FileTrace, ParsesAllRecordForms) {
+  FileTrace t = FileTrace::parse(
+      "# header comment\n"
+      ".\n"
+      "m 1f40\n"
+      "3\n"
+      "m 20\n"
+      "\n"
+      "2\n");
+  EXPECT_EQ(t.instruction_count(), 8u);  // 1 + 1 + 3 + 1 + 2
+  EXPECT_EQ(t.memory_op_count(), 2u);
+
+  // Expansion: . m(0x1f40) . . . m(0x20) . .  then loops.
+  const bool mem_expect[] = {false, true, false, false, false, true, false, false};
+  const Addr addr_expect[] = {0, 0x1f40, 0, 0, 0, 0x20, 0, 0};
+  for (int loop = 0; loop < 3; ++loop) {
+    for (int i = 0; i < 8; ++i) {
+      const Insn insn = t.next();
+      ASSERT_EQ(insn.is_mem, mem_expect[i]) << "loop " << loop << " pos " << i;
+      if (insn.is_mem) ASSERT_EQ(insn.addr, addr_expect[i]);
+    }
+  }
+}
+
+TEST(FileTrace, MemOnlyTraceLoops) {
+  FileTrace t = FileTrace::parse("m a0\nm b0\n");
+  EXPECT_EQ(t.next().addr, 0xa0u);
+  EXPECT_EQ(t.next().addr, 0xb0u);
+  EXPECT_EQ(t.next().addr, 0xa0u);
+}
+
+TEST(FileTrace, GapOnlyTraceLoops) {
+  FileTrace t = FileTrace::parse("5\n");
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(t.next().is_mem);
+}
+
+TEST(FileTrace, RejectsGarbage) {
+  EXPECT_DEATH(FileTrace::parse("x 123\n"), "unrecognized record");
+  EXPECT_DEATH(FileTrace::parse("m zz\n"), "expected 'm <hex-addr>'");
+  EXPECT_DEATH(FileTrace::parse("0\n"), "run length must be positive");
+  EXPECT_DEATH(FileTrace::parse("# only a comment\n"), "empty trace");
+}
+
+TEST(FileTrace, EncodeDecodeRoundTrip) {
+  std::vector<Insn> stream;
+  SyntheticTrace gen(app_by_name("gromacs"), 3, 1);
+  for (int i = 0; i < 5000; ++i) stream.push_back(gen.next());
+  // Ensure the round trip isn't trivially all-gap.
+  int mems = 0;
+  for (const Insn& i : stream) mems += i.is_mem;
+  ASSERT_GT(mems, 100);
+
+  FileTrace t = FileTrace::parse(encode_trace(stream));
+  EXPECT_EQ(t.instruction_count(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const Insn got = t.next();
+    ASSERT_EQ(got.is_mem, stream[i].is_mem) << "at " << i;
+    if (got.is_mem) ASSERT_EQ(got.addr, stream[i].addr) << "at " << i;
+  }
+  // And it loops back to the start.
+  EXPECT_EQ(t.next().is_mem, stream[0].is_mem);
+}
+
+TEST(FileTrace, LoadFromDisk) {
+  const std::string path = ::testing::TempDir() + "/nocsim_trace_test.txt";
+  {
+    std::ofstream out(path);
+    out << "m 40\n10\nm 80\n";
+  }
+  FileTrace t = FileTrace::load(path);
+  EXPECT_EQ(t.memory_op_count(), 2u);
+  EXPECT_EQ(t.instruction_count(), 12u);
+  EXPECT_TRUE(t.next().is_mem);
+  std::remove(path.c_str());
+}
+
+TEST(FileTrace, LoadMissingFileAborts) {
+  EXPECT_DEATH(FileTrace::load("/nonexistent/path/trace.txt"), "cannot open");
+}
+
+}  // namespace
+}  // namespace nocsim

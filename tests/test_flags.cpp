@@ -1,0 +1,61 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nocsim {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& storage) {
+  std::vector<char*> out;
+  for (auto& s : storage) out.push_back(s.data());
+  return out;
+}
+
+TEST(Flags, EqualsSyntax) {
+  std::vector<std::string> args = {"prog", "--cycles=5000", "--rate=0.25"};
+  auto argv = argv_of(args);
+  Flags f(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int("cycles", 1, "x"), 5000);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0, "x"), 0.25);
+  EXPECT_FALSE(f.finish());
+}
+
+TEST(Flags, SpaceSyntaxAndDefaults) {
+  std::vector<std::string> args = {"prog", "--size", "8"};
+  auto argv = argv_of(args);
+  Flags f(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(f.get_int("size", 4, "x"), 8);
+  EXPECT_EQ(f.get_int("missing", 42, "x"), 42);
+  EXPECT_EQ(f.get_string("name", "default", "x"), "default");
+  EXPECT_FALSE(f.finish());
+}
+
+TEST(Flags, BareBooleanFlag) {
+  std::vector<std::string> args = {"prog", "--verbose", "--also=false"};
+  auto argv = argv_of(args);
+  Flags f(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(f.get_bool("verbose", false, "x"));
+  EXPECT_FALSE(f.get_bool("also", true, "x"));
+  EXPECT_FALSE(f.finish());
+}
+
+TEST(Flags, HelpShortCircuits) {
+  std::vector<std::string> args = {"prog", "--help"};
+  auto argv = argv_of(args);
+  Flags f(static_cast<int>(argv.size()), argv.data());
+  f.get_int("cycles", 1, "run length");
+  EXPECT_TRUE(f.finish());
+}
+
+TEST(Flags, UnknownFlagExits) {
+  std::vector<std::string> args = {"prog", "--bogus=1"};
+  auto argv = argv_of(args);
+  Flags f(static_cast<int>(argv.size()), argv.data());
+  f.get_int("cycles", 1, "x");
+  EXPECT_EXIT(f.finish(), ::testing::ExitedWithCode(2), "unknown flag");
+}
+
+}  // namespace
+}  // namespace nocsim

@@ -1,0 +1,139 @@
+#include "cpu/l2map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace nocsim {
+namespace {
+
+TEST(L2Map, StripeIsModulo) {
+  Mesh mesh(4, 4);
+  UniformStripeMapper m(mesh);
+  EXPECT_EQ(m.home(0, 0), 0);
+  EXPECT_EQ(m.home(0, 17), 1);
+  EXPECT_EQ(m.home(5, 31), 15);  // requester-independent
+}
+
+TEST(L2Map, XorMappingDeterministicAndRequesterIndependent) {
+  Mesh mesh(4, 4);
+  XorInterleaveMapper m(mesh);
+  for (Addr b = 0; b < 100; ++b) {
+    const NodeId h = m.home(0, b);
+    EXPECT_EQ(m.home(7, b), h);
+    EXPECT_GE(h, 0);
+    EXPECT_LT(h, 16);
+  }
+}
+
+TEST(L2Map, XorMappingRoughlyBalanced) {
+  Mesh mesh(4, 4);
+  XorInterleaveMapper m(mesh);
+  std::map<NodeId, int> counts;
+  const int n = 64000;
+  for (Addr b = 0; b < n; ++b) ++counts[m.home(0, b)];
+  for (const auto& [node, count] : counts) {
+    EXPECT_NEAR(count, n / 16, n / 16 * 0.10) << "node " << node;
+  }
+}
+
+TEST(L2Map, ExponentialMappingStablePerBlock) {
+  Mesh mesh(8, 8);
+  ExponentialLocalityMapper m(mesh, 1.0);
+  for (Addr b = 1000; b < 1100; ++b) {
+    EXPECT_EQ(m.home(10, b), m.home(10, b));  // deterministic
+  }
+}
+
+TEST(L2Map, ExponentialMappingNeverMapsToSelf) {
+  Mesh mesh(8, 8);
+  ExponentialLocalityMapper m(mesh, 1.0);
+  for (Addr b = 0; b < 2000; ++b) {
+    for (const NodeId r : {0, 27, 63}) {
+      ASSERT_NE(m.home(r, b), r);
+    }
+  }
+}
+
+TEST(L2Map, ExponentialDistancesMatchPaperQuantiles) {
+  // Lambda = 1: the paper quotes ~95% of requests within 3 hops and ~99%
+  // within 5 (§3.2). Our min-1-hop quantization preserves those quantiles.
+  Mesh mesh(32, 32);
+  ExponentialLocalityMapper m(mesh, 1.0);
+  const NodeId center = mesh.node_at({16, 16});
+  int within3 = 0, within5 = 0;
+  const int n = 20000;
+  for (Addr b = 0; b < n; ++b) {
+    const int d = mesh.distance(center, m.home(center, b));
+    within3 += (d <= 3);
+    within5 += (d <= 5);
+  }
+  EXPECT_GT(static_cast<double>(within3) / n, 0.93);
+  EXPECT_GT(static_cast<double>(within5) / n, 0.985);
+}
+
+TEST(L2Map, ExponentialMeanDistanceTracksLambda) {
+  Mesh mesh(64, 64);
+  const NodeId center = mesh.node_at({32, 32});
+  for (const double inv_lambda : {1.0, 2.0, 4.0, 8.0}) {
+    ExponentialLocalityMapper m(mesh, 1.0 / inv_lambda);
+    double sum = 0;
+    const int n = 20000;
+    for (Addr b = 0; b < n; ++b) sum += mesh.distance(center, m.home(center, b));
+    // min-1-hop quantization biases short distances up slightly.
+    EXPECT_NEAR(sum / n, std::max(1.25, inv_lambda), inv_lambda * 0.25)
+        << "1/lambda = " << inv_lambda;
+  }
+}
+
+TEST(L2Map, FactoryNamesAndUnknown) {
+  Mesh mesh(4, 4);
+  EXPECT_NE(make_l2_mapper("stripe", mesh), nullptr);
+  EXPECT_NE(make_l2_mapper("xor", mesh), nullptr);
+  EXPECT_NE(make_l2_mapper("exponential", mesh, 0.5), nullptr);
+  EXPECT_DEATH(make_l2_mapper("random", mesh), "unknown L2 mapping");
+}
+
+TEST(TrafficPattern, ExponentialLocalityRespectsGridEdges) {
+  Mesh mesh(4, 4);
+  ExponentialLocalityTraffic pattern(mesh, 0.2);  // long distances, heavy clipping
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const NodeId d = pattern.pick(0, rng);
+    ASSERT_GE(d, 0);
+    ASSERT_LT(d, 16);
+    ASSERT_NE(d, 0);
+  }
+}
+
+TEST(TrafficPattern, TransposeMirrorsCoordinates) {
+  Mesh mesh(4, 4);
+  TransposeTraffic pattern(mesh);
+  Rng rng(1);
+  EXPECT_EQ(pattern.pick(mesh.node_at({3, 1}), rng), mesh.node_at({1, 3}));
+  EXPECT_EQ(pattern.pick(mesh.node_at({2, 2}), rng), mesh.node_at({2, 2}));
+}
+
+TEST(TrafficPattern, HotspotFractionHonored) {
+  Mesh mesh(4, 4);
+  const NodeId hot = 8;
+  HotspotTraffic pattern(mesh, hot, 0.5);
+  Rng rng(2);
+  int to_hot = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) to_hot += (pattern.pick(0, rng) == hot);
+  // 50% directed + uniform share of the rest.
+  EXPECT_NEAR(static_cast<double>(to_hot) / n, 0.5 + 0.5 / 15.0, 0.02);
+}
+
+TEST(TrafficPattern, UniformNeverPicksSelf) {
+  Mesh mesh(3, 3);
+  UniformTraffic pattern(mesh);
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    for (NodeId n = 0; n < 9; ++n) ASSERT_NE(pattern.pick(n, rng), n);
+  }
+}
+
+}  // namespace
+}  // namespace nocsim

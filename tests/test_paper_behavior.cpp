@@ -1,0 +1,212 @@
+// Reproduction-level behavioural tests: the qualitative claims of the paper
+// that every bench relies on, checked at reduced scale so they run in
+// seconds. EXPERIMENTS.md records the full-scale counterparts.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace nocsim {
+namespace {
+
+SimConfig base_config() {
+  SimConfig c;
+  c.width = 4;
+  c.height = 4;
+  c.warmup_cycles = 20'000;
+  c.measure_cycles = 120'000;
+  c.cc_params.epoch = 20'000;
+  c.seed = 3;
+  return c;
+}
+
+TEST(PaperBehavior, StarvationGrowsSuperlinearlyWithUtilization) {
+  // Fig. 2(b): starvation rate rises superlinearly with utilization. Check
+  // that the starvation/utilization ratio increases along the load ladder.
+  Rng rng(7);
+  std::vector<std::pair<double, double>> points;  // (util, starvation)
+  for (const char* cat : {"L", "ML", "M", "HM", "H"}) {
+    const auto wl = make_category_workload(cat, 16, rng);
+    const SimResult r = run_workload(base_config(), wl);
+    points.emplace_back(r.utilization, r.avg_starvation);
+  }
+  std::sort(points.begin(), points.end());
+  double prev_ratio = 0.0;
+  for (const auto& [util, starv] : points) {
+    if (util < 0.05) continue;  // idle network: ratio undefined in practice
+    const double ratio = starv / util;
+    EXPECT_GE(ratio, prev_ratio * 0.9) << "starvation is not superlinear near util " << util;
+    prev_ratio = std::max(prev_ratio, ratio);
+  }
+  EXPECT_GT(prev_ratio, 0.15);  // heavy load: starvation is substantial
+}
+
+TEST(PaperBehavior, NetworkLatencyStaysWithinSmallFactorUnderLoad) {
+  // Fig. 2(a): bufferless in-network latency stays "within 2x from baseline
+  // to maximum load" — unlike buffered networks, where queueing blows up.
+  Rng rng(7);
+  const auto light = make_category_workload("L", 16, rng);
+  const auto heavy = make_category_workload("H", 16, rng);
+  const SimResult rl = run_workload(base_config(), light);
+  const SimResult rh = run_workload(base_config(), heavy);
+  EXPECT_GT(rh.utilization, rl.utilization + 0.3);
+  EXPECT_LT(rh.avg_net_latency, rl.avg_net_latency * 3.0);
+}
+
+TEST(PaperBehavior, CongestionControlHelpsCongestedMixedWorkloads) {
+  // Figs. 7/8: the biggest wins are in heavy+medium mixes. Require a clear
+  // average gain across seeds.
+  double gain_sum = 0;
+  int n = 0;
+  for (const std::uint64_t seed : {1, 2, 3, 4}) {
+    Rng rng(seed * 31 + 7);
+    const auto wl = make_category_workload("HM", 16, rng);
+    SimConfig c = base_config();
+    c.seed = seed;
+    const SimResult base = run_workload(c, wl);
+    SimConfig cc = c;
+    cc.cc = CcMode::Central;
+    const SimResult throttled = run_workload(cc, wl);
+    gain_sum += throttled.system_throughput() / base.system_throughput() - 1.0;
+    ++n;
+  }
+  EXPECT_GT(gain_sum / n, 0.05) << "average HM gain below 5%";
+}
+
+TEST(PaperBehavior, CongestionControlHarmlessOnLightWorkloads) {
+  // Fig. 8: L and ML categories see little change (the network is
+  // adequately provisioned, so throttling should rarely activate).
+  Rng rng(11);
+  const auto wl = make_category_workload("L", 16, rng);
+  SimConfig c = base_config();
+  const SimResult base = run_workload(c, wl);
+  SimConfig cc = c;
+  cc.cc = CcMode::Central;
+  const SimResult throttled = run_workload(cc, wl);
+  EXPECT_NEAR(throttled.system_throughput() / base.system_throughput(), 1.0, 0.02);
+  EXPECT_LT(throttled.congested_epoch_fraction, 0.5);
+}
+
+TEST(PaperBehavior, WhichAppIsThrottledMatters) {
+  // Fig. 5: throttling the network-heavy app helps the light app and the
+  // system more than throttling the light app does.
+  SimConfig c = base_config();
+  const auto wl = make_checkerboard_workload("mcf", "gromacs", 4, 4);
+  const SimResult base = run_workload(c, wl);
+
+  auto selective = [&](const std::string& victim) {
+    SimConfig s = c;
+    s.cc = CcMode::Selective;
+    s.selective_rates.assign(16, 0.0);
+    for (int i = 0; i < 16; ++i) {
+      if (wl.app_names[i] == victim) s.selective_rates[i] = 0.9;
+    }
+    return run_workload(s, wl);
+  };
+  const SimResult throttle_mcf = selective("mcf");
+  const SimResult throttle_gro = selective("gromacs");
+  EXPECT_GT(throttle_mcf.system_throughput(), throttle_gro.system_throughput());
+  // Throttling gromacs (the CPU-bound app) must hurt overall throughput.
+  EXPECT_LT(throttle_gro.system_throughput(), base.system_throughput());
+}
+
+TEST(PaperBehavior, IpfIsStableUnderCongestion) {
+  // §4: "IPF ... is independent of the congestion in the network" — the
+  // property that makes it a safe throttling criterion. Measure one app's
+  // IPF alone vs embedded in a congested workload.
+  SimConfig c = base_config();
+  WorkloadSpec alone;
+  alone.category = "alone";
+  alone.app_names.assign(16, "");
+  alone.app_names[5] = "mcf";
+  const double ipf_alone = run_workload(c, alone).nodes[5].ipf;
+
+  auto congested = make_homogeneous_workload("lbm", 16);
+  congested.app_names[5] = "mcf";
+  const double ipf_shared = run_workload(c, congested).nodes[5].ipf;
+  EXPECT_NEAR(ipf_shared / ipf_alone, 1.0, 0.25);
+}
+
+TEST(PaperBehavior, ThrottlingReducesStarvationOfUnthrottledNodes) {
+  // Fig. 9 direction: under CC, congested workloads see starvation at
+  // non-throttled (high-IPF) nodes improve or hold.
+  Rng rng(13);
+  const auto wl = make_category_workload("HM", 16, rng);
+  SimConfig c = base_config();
+  const SimResult base = run_workload(c, wl);
+  SimConfig cc = c;
+  cc.cc = CcMode::Central;
+  const SimResult thr = run_workload(cc, wl);
+  double base_sum = 0, thr_sum = 0;
+  int count = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (thr.nodes[i].mean_throttle_rate > 0.05) continue;  // throttled nodes excluded
+    base_sum += base.nodes[i].starvation;
+    thr_sum += thr.nodes[i].starvation;
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_LE(thr_sum, base_sum * 1.10);
+}
+
+TEST(PaperBehavior, CentralBeatsDistributed) {
+  // §6.6: the application-unaware congested-bit scheme is less effective.
+  double central_sum = 0, dist_sum = 0;
+  for (const std::uint64_t seed : {2, 5}) {
+    Rng rng(seed * 31 + 7);
+    const auto wl = make_category_workload("HM", 16, rng);
+    SimConfig c = base_config();
+    c.seed = seed;
+    const double base = run_workload(c, wl).system_throughput();
+    SimConfig cen = c;
+    cen.cc = CcMode::Central;
+    central_sum += run_workload(cen, wl).system_throughput() / base;
+    SimConfig dis = c;
+    dis.cc = CcMode::Distributed;
+    dist_sum += run_workload(dis, wl).system_throughput() / base;
+  }
+  EXPECT_GT(central_sum, dist_sum * 0.98);
+}
+
+TEST(PaperBehavior, PerNodeThroughputDegradesWithScaleWithoutCc) {
+  // Fig. 3(c): with exponential locality held fixed, IPC/node falls as the
+  // mesh grows (congestion limits scalability).
+  SimConfig c = base_config();
+  c.l2_map = "exponential";
+  c.locality_lambda = 1.0;
+  c.measure_cycles = 60'000;
+  c.warmup_cycles = 15'000;
+  Rng rng(17);
+  const auto wl4 = make_category_workload("H", 16, rng);
+  const SimResult r4 = run_workload(c, wl4);
+  SimConfig c16 = scaled_config(c, 16);
+  Rng rng2(17);
+  const auto wl16 = make_category_workload("H", 256, rng2);
+  const SimResult r16 = run_workload(c16, wl16);
+  EXPECT_LT(r16.ipc_per_node(), r4.ipc_per_node());
+}
+
+TEST(PaperBehavior, CongestionControlRestoresScalability) {
+  // Fig. 13: with CC, large-mesh per-node throughput recovers a large part
+  // of the congestion loss (paper: ~50% improvement at 4096 cores; checked
+  // here at 256 cores for test speed).
+  SimConfig c = base_config();
+  c.l2_map = "exponential";
+  c.locality_lambda = 1.0;
+  c.measure_cycles = 60'000;
+  c.warmup_cycles = 15'000;
+  SimConfig c16 = scaled_config(c, 16);
+  c16.cc_params.epoch = 10'000;
+  Rng rng(17);
+  const auto wl = make_category_workload("H", 256, rng);
+  const SimResult base = run_workload(c16, wl);
+  SimConfig cc = c16;
+  cc.cc = CcMode::Central;
+  const SimResult thr = run_workload(cc, wl);
+  EXPECT_GT(thr.ipc_per_node(), base.ipc_per_node() * 1.05);
+  // The recovery works by collapsing deflection orbits: hop inflation and
+  // latency must drop substantially.
+  EXPECT_LT(thr.avg_net_latency, base.avg_net_latency);
+}
+
+}  // namespace
+}  // namespace nocsim

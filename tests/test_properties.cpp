@@ -1,0 +1,202 @@
+// Cross-module property tests: randomized traffic through the full
+// fabric + reassembly stack, conservation and determinism invariants that
+// every experiment silently depends on.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "noc/bless_fabric.hpp"
+#include "noc/buffered_fabric.hpp"
+#include "noc/reassembly.hpp"
+#include "noc/traffic.hpp"
+#include "sim/experiment.hpp"
+
+namespace nocsim {
+namespace {
+
+
+struct FuzzCase {
+  std::string fabric;     // "bless" | "bless-adaptive" | "buffered"
+  std::string topology;   // "mesh" | "torus"
+  int side;
+  double rate;
+  int max_pkt_len;
+  std::uint64_t seed;
+};
+
+std::unique_ptr<Fabric> make_fabric(const FuzzCase& fc, const Topology& topo) {
+  if (fc.fabric == "buffered") return std::make_unique<BufferedFabric>(topo);
+  const auto routing = (fc.fabric == "bless-adaptive") ? BlessRouting::MinimalAdaptive
+                                                       : BlessRouting::StrictXY;
+  return std::make_unique<BlessFabric>(topo, 2, 1, routing);
+}
+
+class FabricFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+// Every flit of every packet is delivered to its destination exactly once,
+// and reassembly completes every packet — across fabrics, topologies,
+// loads, and mixed packet lengths.
+TEST_P(FabricFuzz, PacketsReassembleExactlyOnce) {
+  const FuzzCase& fc = GetParam();
+  const auto topo = make_topology(fc.topology, fc.side, fc.side);
+  const auto fabric = make_fabric(fc, *topo);
+
+  // Per-destination reassembly, tracking completed packets by (src, seq).
+  std::map<std::pair<NodeId, PacketSeq>, int> completed;
+  std::vector<std::unique_ptr<ReassemblyTable>> tables;
+  for (NodeId n = 0; n < topo->num_nodes(); ++n) {
+    tables.push_back(std::make_unique<ReassemblyTable>(
+        [&completed](const Flit& header, Cycle) {
+          ++completed[{header.src, header.packet}];
+        }));
+  }
+  fabric->set_eject_sink([&](NodeId at, const Flit& f) {
+    ASSERT_EQ(f.dst, at) << "flit ejected at the wrong node";
+    tables[at]->on_flit(f, 0);
+  });
+
+  UniformTraffic pattern(*topo);
+  Rng rng(fc.seed);
+  std::vector<std::deque<Flit>> queues(topo->num_nodes());
+  std::uint64_t packets_sent = 0;
+  PacketSeq seq = 0;
+  for (Cycle now = 0; now < 1500; ++now) {
+    fabric->begin_cycle(now);
+    for (NodeId n = 0; n < topo->num_nodes(); ++n) {
+      if (rng.next_bool(fc.rate)) {
+        const int len = 1 + static_cast<int>(rng.next_below(fc.max_pkt_len));
+        const NodeId dst = pattern.pick(n, rng);
+        for (int i = 0; i < len; ++i) {
+          Flit f;
+          f.src = n;
+          f.dst = dst;
+          f.packet = static_cast<std::uint32_t>(seq);
+          f.flit_idx = static_cast<std::uint8_t>(i);
+          f.packet_len = static_cast<std::uint8_t>(len);
+          queues[n].push_back(f);
+        }
+        ++seq;
+        ++packets_sent;
+      }
+      if (!queues[n].empty() && fabric->can_accept(n)) {
+        fabric->request_inject(n, queues[n].front());
+        queues[n].pop_front();
+      }
+    }
+    fabric->step(now);
+  }
+  // Drain.
+  Cycle now = 1500;
+  const auto queued = [&] {
+    std::size_t total = 0;
+    for (const auto& q : queues) total += q.size();
+    return total;
+  };
+  while ((queued() > 0 || !fabric->empty()) && now < 400'000) {
+    fabric->begin_cycle(now);
+    for (NodeId n = 0; n < topo->num_nodes(); ++n) {
+      if (!queues[n].empty() && fabric->can_accept(n)) {
+        fabric->request_inject(n, queues[n].front());
+        queues[n].pop_front();
+      }
+    }
+    fabric->step(now);
+    ++now;
+  }
+  ASSERT_TRUE(fabric->empty()) << "network failed to drain";
+  EXPECT_EQ(completed.size(), packets_sent);
+  for (const auto& [key, count] : completed) {
+    ASSERT_EQ(count, 1) << "packet delivered " << count << " times";
+  }
+  for (NodeId n = 0; n < topo->num_nodes(); ++n) {
+    EXPECT_EQ(tables[n]->pending_packets(), 0u) << "incomplete reassembly at node " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, FabricFuzz,
+    ::testing::Values(FuzzCase{"bless", "mesh", 4, 0.3, 4, 1},
+                      FuzzCase{"bless", "mesh", 6, 0.5, 3, 2},
+                      FuzzCase{"bless", "torus", 4, 0.4, 4, 3},
+                      FuzzCase{"bless-adaptive", "mesh", 5, 0.5, 4, 4},
+                      FuzzCase{"bless-adaptive", "torus", 5, 0.3, 2, 5},
+                      FuzzCase{"buffered", "mesh", 4, 0.3, 4, 6},
+                      FuzzCase{"buffered", "mesh", 6, 0.15, 9, 7},
+                      FuzzCase{"buffered", "torus", 4, 0.25, 4, 8},
+                      FuzzCase{"buffered", "torus", 5, 0.35, 3, 9}),
+    [](const auto& inf) {
+      const FuzzCase& fc = inf.param;
+      return fc.fabric.substr(0, fc.fabric.find('-')) +
+             (fc.fabric.find("adaptive") != std::string::npos ? "Adaptive" : "") + "_" +
+             fc.topology + std::to_string(fc.side) + "_s" + std::to_string(fc.seed);
+    });
+
+// Full-simulator determinism across the architecture matrix.
+struct SimCase {
+  RouterKind router;
+  std::string topology;
+  CcMode cc;
+};
+class SimulatorDeterminism : public ::testing::TestWithParam<SimCase> {};
+
+TEST_P(SimulatorDeterminism, IdenticalRunsProduceIdenticalResults) {
+  const SimCase& sc = GetParam();
+  auto run_once = [&] {
+    SimConfig c;
+    c.router = sc.router;
+    c.topology = sc.topology;
+    c.cc = sc.cc;
+    c.warmup_cycles = 5'000;
+    c.measure_cycles = 25'000;
+    c.cc_params.epoch = 6'000;
+    Rng rng(9);
+    const auto wl = make_category_workload("HM", 16, rng);
+    return run_workload(c, wl);
+  };
+  const SimResult a = run_once();
+  const SimResult b = run_once();
+  EXPECT_EQ(a.fabric.flit_hops, b.fabric.flit_hops);
+  EXPECT_EQ(a.fabric.flits_injected, b.fabric.flits_injected);
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    ASSERT_EQ(a.nodes[i].retired, b.nodes[i].retired) << "node " << i;
+    ASSERT_EQ(a.nodes[i].flits, b.nodes[i].flits) << "node " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchMatrix, SimulatorDeterminism,
+    ::testing::Values(SimCase{RouterKind::Bless, "mesh", CcMode::None},
+                      SimCase{RouterKind::Bless, "mesh", CcMode::Central},
+                      SimCase{RouterKind::Bless, "mesh", CcMode::Distributed},
+                      SimCase{RouterKind::Bless, "torus", CcMode::Central},
+                      SimCase{RouterKind::Buffered, "mesh", CcMode::None},
+                      SimCase{RouterKind::Buffered, "torus", CcMode::Central}),
+    [](const auto& inf) {
+      const SimCase& sc = inf.param;
+      std::string name = (sc.router == RouterKind::Bless) ? "bless" : "buffered";
+      name += "_" + sc.topology + "_";
+      name += (sc.cc == CcMode::None ? "nocc"
+                                     : (sc.cc == CcMode::Central ? "central" : "dist"));
+      return name;
+    });
+
+// Flit accounting closes at the simulator level: injected == ejected +
+// still-in-flight, and every retired instruction's data actually arrived.
+TEST(SimulatorInvariants, FlitAccountingCloses) {
+  SimConfig c;
+  c.warmup_cycles = 0;
+  c.measure_cycles = 50'000;
+  c.cc_params.epoch = 10'000;
+  const auto wl = make_homogeneous_workload("mcf", 16);
+  Simulator sim(c, wl);
+  const SimResult r = sim.run();
+  EXPECT_LE(r.fabric.flits_ejected, r.fabric.flits_injected);
+  const std::uint64_t in_flight = r.fabric.flits_injected - r.fabric.flits_ejected;
+  // In-flight at cutoff is bounded by total network capacity (latches +
+  // pipeline slots), not unbounded.
+  EXPECT_LT(in_flight, 16u * 4u * 4u);
+}
+
+}  // namespace
+}  // namespace nocsim

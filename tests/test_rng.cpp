@@ -1,0 +1,106 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nocsim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkedStreamsIndependentAndDeterministic) {
+  Rng root(7);
+  Rng f1 = root.fork(1);
+  Rng f2 = root.fork(2);
+  Rng f1again = root.fork(1);
+  EXPECT_EQ(f1.next_u64(), f1again.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, NextBelowRespectsBoundExactly) {
+  Rng rng(42);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 2000; ++i) ASSERT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(10)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, NextRangeInclusiveEndpointsReachable) {
+  Rng rng(5);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    lo_hit |= (v == -3);
+    hi_hit |= (v == 3);
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  for (const double lambda : {0.5, 1.0, 4.0}) {
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) sum += rng.next_exponential(lambda);
+    EXPECT_NEAR(sum / n, 1.0 / lambda, 0.02 / lambda);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(17);
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ParetoAtLeastMinimum) {
+  Rng rng(19);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(rng.next_pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, GeometricMeanMatchesP) {
+  Rng rng(23);
+  const double p = 0.25;
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.next_geometric(p));
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+}  // namespace
+}  // namespace nocsim

@@ -1,0 +1,142 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace nocsim {
+namespace {
+
+TEST(StatAccumulator, BasicMoments) {
+  StatAccumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // classic example set
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatAccumulator, EmptyIsSafe) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(StatAccumulator, MergeEqualsSingleStream) {
+  StatAccumulator all, left, right;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double() * 100;
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(StatAccumulator, MergeWithEmpty) {
+  StatAccumulator a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SlidingWindowRate, ExactWindowArithmetic) {
+  SlidingWindowRate w(4);
+  EXPECT_EQ(w.rate(), 0.0);
+  w.record(true);
+  EXPECT_DOUBLE_EQ(w.rate(), 1.0);  // 1 of 1 observed
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.rate(), 0.5);
+  w.record(false);
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.rate(), 0.25);
+  // Window full: the first (true) observation now falls out.
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.rate(), 0.0);
+}
+
+TEST(SlidingWindowRate, MatchesNaiveOverRandomStream) {
+  const int window = 128;  // the paper's W
+  SlidingWindowRate w(window);
+  std::vector<int> history;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const bool bit = rng.next_bool(0.3);
+    w.record(bit);
+    history.push_back(bit);
+    const int start = std::max(0, static_cast<int>(history.size()) - window);
+    int ones = 0;
+    for (std::size_t k = start; k < history.size(); ++k) ones += history[k];
+    const double expect =
+        static_cast<double>(ones) / std::min<std::size_t>(history.size(), window);
+    ASSERT_DOUBLE_EQ(w.rate(), expect) << "at step " << i;
+  }
+}
+
+TEST(SlidingWindowRate, ResetClears) {
+  SlidingWindowRate w(8);
+  for (int i = 0; i < 8; ++i) w.record(true);
+  w.reset();
+  EXPECT_EQ(w.rate(), 0.0);
+  w.record(false);
+  EXPECT_EQ(w.rate(), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps to first bin
+  h.add(100.0);   // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) h.add(rng.next_double());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, CdfMonotone) {
+  Histogram h(0.0, 1.0, 20);
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) h.add(rng.next_double());
+  double prev = 0.0;
+  for (int b = 0; b < h.bins(); ++b) {
+    const double c = h.cdf_at_bin(b);
+    ASSERT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(EmpiricalCdf, QuantilesAndLookup) {
+  EmpiricalCdf cdf;
+  for (const double x : {1.0, 2.0, 3.0, 4.0, 5.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 3.0);
+}
+
+}  // namespace
+}  // namespace nocsim

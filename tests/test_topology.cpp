@@ -1,0 +1,131 @@
+#include "topology/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nocsim {
+namespace {
+
+TEST(Coord, RoundTripAllNodes) {
+  Mesh mesh(5, 3);
+  for (NodeId n = 0; n < mesh.num_nodes(); ++n) {
+    EXPECT_EQ(mesh.node_at(mesh.coord_of(n)), n);
+  }
+}
+
+TEST(Mesh, NeighborsOfInteriorNode) {
+  Mesh mesh(4, 4);
+  const NodeId center = mesh.node_at({1, 1});
+  EXPECT_EQ(mesh.neighbor(center, Dir::North), mesh.node_at({1, 0}));
+  EXPECT_EQ(mesh.neighbor(center, Dir::South), mesh.node_at({1, 2}));
+  EXPECT_EQ(mesh.neighbor(center, Dir::East), mesh.node_at({2, 1}));
+  EXPECT_EQ(mesh.neighbor(center, Dir::West), mesh.node_at({0, 1}));
+}
+
+TEST(Mesh, EdgesHaveNoWraparound) {
+  Mesh mesh(4, 4);
+  EXPECT_EQ(mesh.neighbor(mesh.node_at({0, 0}), Dir::North), kInvalidNode);
+  EXPECT_EQ(mesh.neighbor(mesh.node_at({0, 0}), Dir::West), kInvalidNode);
+  EXPECT_EQ(mesh.neighbor(mesh.node_at({3, 3}), Dir::South), kInvalidNode);
+  EXPECT_EQ(mesh.neighbor(mesh.node_at({3, 3}), Dir::East), kInvalidNode);
+}
+
+TEST(Mesh, DegreeByPosition) {
+  Mesh mesh(4, 4);
+  EXPECT_EQ(mesh.degree(mesh.node_at({0, 0})), 2);  // corner
+  EXPECT_EQ(mesh.degree(mesh.node_at({1, 0})), 3);  // edge
+  EXPECT_EQ(mesh.degree(mesh.node_at({1, 1})), 4);  // interior
+}
+
+TEST(Torus, AllNodesDegreeFour) {
+  Torus torus(4, 4);
+  for (NodeId n = 0; n < torus.num_nodes(); ++n) EXPECT_EQ(torus.degree(n), 4);
+}
+
+TEST(Torus, WraparoundNeighbors) {
+  Torus torus(4, 4);
+  EXPECT_EQ(torus.neighbor(torus.node_at({0, 0}), Dir::West), torus.node_at({3, 0}));
+  EXPECT_EQ(torus.neighbor(torus.node_at({0, 0}), Dir::North), torus.node_at({0, 3}));
+}
+
+TEST(Torus, DistanceUsesShorterWay) {
+  Torus torus(8, 8);
+  EXPECT_EQ(torus.distance(torus.node_at({0, 0}), torus.node_at({7, 0})), 1);
+  EXPECT_EQ(torus.distance(torus.node_at({0, 0}), torus.node_at({4, 0})), 4);
+  EXPECT_EQ(torus.distance(torus.node_at({0, 0}), torus.node_at({6, 7})), 3);
+}
+
+TEST(Factory, MakesBothAndRejectsUnknown) {
+  EXPECT_EQ(make_topology("mesh", 4, 4)->name(), "mesh");
+  EXPECT_EQ(make_topology("torus", 4, 4)->name(), "torus");
+  EXPECT_DEATH(make_topology("hypercube", 4, 4), "unknown topology");
+}
+
+// Property suite: across topologies and sizes, repeatedly stepping along the
+// first preferred direction must walk a shortest path to the destination.
+struct TopoCase {
+  std::string name;
+  int w, h;
+};
+
+class RoutePreferenceProperty : public ::testing::TestWithParam<TopoCase> {};
+
+TEST_P(RoutePreferenceProperty, GreedyWalkFollowsShortestPath) {
+  const TopoCase& tc = GetParam();
+  const auto topo = make_topology(tc.name, tc.w, tc.h);
+  for (NodeId src = 0; src < topo->num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < topo->num_nodes(); ++dst) {
+      NodeId at = src;
+      int steps = 0;
+      const int expect = topo->distance(src, dst);
+      while (at != dst) {
+        const RoutePreference pref = topo->route_preference(at, dst);
+        ASSERT_GT(pref.count, 0) << "not at destination but no productive port";
+        const NodeId next = topo->neighbor(at, pref.dirs[0]);
+        ASSERT_NE(next, kInvalidNode) << "preferred port points off the grid";
+        // Each preferred hop must strictly reduce distance.
+        ASSERT_EQ(topo->distance(next, dst), topo->distance(at, dst) - 1);
+        at = next;
+        ASSERT_LE(++steps, expect) << "walk exceeded the shortest-path length";
+      }
+      ASSERT_EQ(steps, expect);
+    }
+  }
+}
+
+TEST_P(RoutePreferenceProperty, AtDestinationNoPreferredPorts) {
+  const TopoCase& tc = GetParam();
+  const auto topo = make_topology(tc.name, tc.w, tc.h);
+  for (NodeId n = 0; n < topo->num_nodes(); ++n) {
+    EXPECT_EQ(topo->route_preference(n, n).count, 0);
+  }
+}
+
+TEST_P(RoutePreferenceProperty, SecondPreferredPortAlsoProductive) {
+  const TopoCase& tc = GetParam();
+  const auto topo = make_topology(tc.name, tc.w, tc.h);
+  for (NodeId src = 0; src < topo->num_nodes(); ++src) {
+    for (NodeId dst = 0; dst < topo->num_nodes(); ++dst) {
+      const RoutePreference pref = topo->route_preference(src, dst);
+      for (int c = 0; c < pref.count; ++c) {
+        const NodeId next = topo->neighbor(src, pref.dirs[c]);
+        ASSERT_NE(next, kInvalidNode);
+        EXPECT_EQ(topo->distance(next, dst), topo->distance(src, dst) - 1)
+            << "preference " << c << " from " << src << " to " << dst;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MeshAndTorus, RoutePreferenceProperty,
+                         ::testing::Values(TopoCase{"mesh", 4, 4}, TopoCase{"mesh", 8, 8},
+                                           TopoCase{"mesh", 5, 3}, TopoCase{"torus", 4, 4},
+                                           TopoCase{"torus", 6, 6}, TopoCase{"torus", 5, 7}),
+                         [](const auto& inf) {
+                           return inf.param.name + "_" + std::to_string(inf.param.w) + "x" +
+                                  std::to_string(inf.param.h);
+                         });
+
+}  // namespace
+}  // namespace nocsim

@@ -1,0 +1,181 @@
+// Tests for the application catalog (Table 1), the synthetic trace
+// generators, and workload construction (§6.1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/cache.hpp"
+#include "workload/app_profile.hpp"
+#include "workload/synth_trace.hpp"
+#include "workload/workload.hpp"
+
+namespace nocsim {
+namespace {
+
+TEST(AppCatalog, HasAllTable1Applications) {
+  EXPECT_EQ(app_catalog().size(), 34u);
+  for (const char* name : {"matlab", "mcf", "gromacs", "povray", "tpcc", "xml_trace"}) {
+    EXPECT_NO_FATAL_FAILURE(app_by_name(name));
+  }
+}
+
+TEST(AppCatalog, ClassBoundariesMatchSection61) {
+  // H < 2, M in [2, 100], L > 100.
+  EXPECT_EQ(app_by_name("soplex").cls, IntensityClass::Heavy);      // 1.7
+  EXPECT_EQ(app_by_name("libquantum").cls, IntensityClass::Medium); // 2.1
+  EXPECT_EQ(app_by_name("bzip2").cls, IntensityClass::Medium);      // 65.5
+  EXPECT_EQ(app_by_name("xml_trace").cls, IntensityClass::Light);   // 108.9
+}
+
+TEST(AppCatalog, ClassPartitionIsComplete) {
+  std::size_t total = 0;
+  for (const auto cls :
+       {IntensityClass::Heavy, IntensityClass::Medium, IntensityClass::Light}) {
+    total += apps_in_class(cls).size();
+  }
+  EXPECT_EQ(total, app_catalog().size());
+  EXPECT_EQ(apps_in_class(IntensityClass::Heavy).size(), 6u);
+}
+
+TEST(AppCatalog, DerivedParametersFeasible) {
+  for (const AppProfile& p : app_catalog()) {
+    EXPECT_GT(p.mem_fraction, 0.0) << p.name;
+    EXPECT_LE(p.mem_fraction, 0.8) << p.name;
+    EXPECT_GE(p.cold_fraction, 0.0) << p.name;
+    EXPECT_LE(p.cold_fraction, 1.0) << p.name;
+    EXPECT_GT(p.hot_blocks, 0u) << p.name;
+    EXPECT_GT(p.max_mlp, 0) << p.name;
+    // Generator math: misses/insn * kFlitsPerMiss * table_ipf == 1.
+    const double mpi = p.mem_fraction * p.cold_fraction;
+    EXPECT_NEAR(mpi * AppProfile::kFlitsPerMiss * p.table_ipf, 1.0, 1e-9) << p.name;
+  }
+}
+
+TEST(AppCatalog, UnknownNameAborts) {
+  EXPECT_DEATH(app_by_name("doom"), "unknown application");
+}
+
+TEST(SynthTrace, DeterministicPerSeedAndStream) {
+  const AppProfile& p = app_by_name("mcf");
+  SyntheticTrace a(p, 1, 5), b(p, 1, 5), c(p, 1, 6), d(p, 2, 5);
+  bool differs_stream = false, differs_seed = false;
+  for (int i = 0; i < 1000; ++i) {
+    const Insn ia = a.next(), ib = b.next(), ic = c.next(), id = d.next();
+    ASSERT_EQ(ia.is_mem, ib.is_mem);
+    ASSERT_EQ(ia.addr, ib.addr);
+    differs_stream |= (ia.is_mem != ic.is_mem || ia.addr != ic.addr);
+    differs_seed |= (ia.is_mem != id.is_mem || ia.addr != id.addr);
+  }
+  EXPECT_TRUE(differs_stream);
+  EXPECT_TRUE(differs_seed);
+}
+
+TEST(SynthTrace, MemFractionMatchesProfile) {
+  const AppProfile& p = app_by_name("gromacs");
+  SyntheticTrace t(p, 3, 0);
+  int mem = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) mem += t.next().is_mem;
+  EXPECT_NEAR(static_cast<double>(mem) / n, p.mem_fraction, 0.01);
+}
+
+TEST(SynthTrace, AddressSpacesDisjointAcrossStreams) {
+  const AppProfile& p = app_by_name("mcf");
+  SyntheticTrace a(p, 1, 0), b(p, 1, 1);
+  std::set<Addr> blocks_a;
+  for (int i = 0; i < 30000; ++i) {
+    const Insn insn = a.next();
+    if (insn.is_mem) blocks_a.insert(insn.addr / 32);
+  }
+  for (int i = 0; i < 30000; ++i) {
+    const Insn insn = b.next();
+    if (insn.is_mem) ASSERT_FALSE(blocks_a.count(insn.addr / 32));
+  }
+}
+
+// Steady-state L1 miss rate through a real cache must land close to the
+// calibrated cold fraction for every catalog application class.
+struct IpfCase {
+  const char* app;
+};
+class TraceCalibration : public ::testing::TestWithParam<IpfCase> {};
+
+TEST_P(TraceCalibration, SteadyStateMissRateNearCalibration) {
+  const AppProfile& p = app_by_name(GetParam().app);
+  SyntheticTrace t(p, 7, 3);
+  SetAssocCache l1(128 * 1024, 4, 32);
+  auto run = [&](int accesses) {
+    int miss = 0, mem = 0;
+    while (mem < accesses) {
+      const Insn insn = t.next();
+      if (!insn.is_mem) continue;
+      ++mem;
+      const Addr b = l1.block_of(insn.addr);
+      if (!l1.access(b)) {
+        ++miss;
+        l1.fill(b);
+      }
+    }
+    return static_cast<double>(miss) / accesses;
+  };
+  run(300000);  // warm
+  const double measured = run(600000);
+  // Phase modulation averages out over full periods; allow a generous band.
+  const double target = p.cold_fraction;
+  EXPECT_NEAR(measured, target, std::max(0.25 * target, 0.002)) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(CatalogSpread, TraceCalibration,
+                         ::testing::Values(IpfCase{"matlab"}, IpfCase{"mcf"},
+                                           IpfCase{"lbm"}, IpfCase{"libquantum"},
+                                           IpfCase{"gromacs"}, IpfCase{"bzip2"},
+                                           IpfCase{"gobmk"}, IpfCase{"gcc"},
+                                           IpfCase{"povray"}),
+                         [](const auto& inf) { return std::string(inf.param.app); });
+
+TEST(Workload, CategoryDrawsOnlyFromAllowedClasses) {
+  Rng rng(5);
+  const WorkloadSpec spec = make_category_workload("HL", 64, rng);
+  EXPECT_EQ(spec.app_names.size(), 64u);
+  for (const auto& name : spec.app_names) {
+    const IntensityClass c = app_by_name(name).cls;
+    EXPECT_TRUE(c == IntensityClass::Heavy || c == IntensityClass::Light) << name;
+  }
+}
+
+TEST(Workload, SevenCategoriesOfSection61) {
+  const auto& cats = workload_categories();
+  EXPECT_EQ(cats.size(), 7u);
+  Rng rng(1);
+  for (const auto& cat : cats) {
+    const WorkloadSpec spec = make_category_workload(cat, 16, rng);
+    EXPECT_EQ(spec.app_names.size(), 16u);
+    EXPECT_EQ(spec.category, cat);
+  }
+}
+
+TEST(Workload, CheckerboardAlternates) {
+  const WorkloadSpec spec = make_checkerboard_workload("mcf", "gromacs", 4, 4);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      const std::string& expect = ((x + y) % 2 == 0) ? "mcf" : "gromacs";
+      EXPECT_EQ(spec.app_names[y * 4 + x], expect);
+    }
+  }
+}
+
+TEST(Workload, HomogeneousFillsAllNodes) {
+  const WorkloadSpec spec = make_homogeneous_workload("tpcc", 9);
+  EXPECT_EQ(spec.app_names.size(), 9u);
+  for (const auto& n : spec.app_names) EXPECT_EQ(n, "tpcc");
+}
+
+TEST(Workload, DeterministicGivenRngState) {
+  Rng a(9), b(9);
+  const auto w1 = make_category_workload("HML", 32, a);
+  const auto w2 = make_category_workload("HML", 32, b);
+  EXPECT_EQ(w1.app_names, w2.app_names);
+}
+
+}  // namespace
+}  // namespace nocsim
