@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_hotspot.dir/disc_hotspot.cpp.o"
+  "CMakeFiles/disc_hotspot.dir/disc_hotspot.cpp.o.d"
+  "disc_hotspot"
+  "disc_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for disc_hotspot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_congestion.dir/fig02_congestion.cpp.o"
+  "CMakeFiles/fig02_congestion.dir/fig02_congestion.cpp.o.d"
+  "fig02_congestion"
+  "fig02_congestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

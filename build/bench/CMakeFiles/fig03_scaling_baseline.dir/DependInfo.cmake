@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig03_scaling_baseline.cpp" "bench/CMakeFiles/fig03_scaling_baseline.dir/fig03_scaling_baseline.cpp.o" "gcc" "bench/CMakeFiles/fig03_scaling_baseline.dir/fig03_scaling_baseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nocsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nocsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nocsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/nocsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nocsim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nocsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_scaling_baseline.dir/fig03_scaling_baseline.cpp.o"
+  "CMakeFiles/fig03_scaling_baseline.dir/fig03_scaling_baseline.cpp.o.d"
+  "fig03_scaling_baseline"
+  "fig03_scaling_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_scaling_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

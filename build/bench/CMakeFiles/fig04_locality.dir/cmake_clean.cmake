@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_locality.dir/fig04_locality.cpp.o"
+  "CMakeFiles/fig04_locality.dir/fig04_locality.cpp.o.d"
+  "fig04_locality"
+  "fig04_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

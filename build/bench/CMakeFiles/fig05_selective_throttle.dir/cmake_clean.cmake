@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_selective_throttle.dir/fig05_selective_throttle.cpp.o"
+  "CMakeFiles/fig05_selective_throttle.dir/fig05_selective_throttle.cpp.o.d"
+  "fig05_selective_throttle"
+  "fig05_selective_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_selective_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_phase_behavior.dir/fig06_phase_behavior.cpp.o"
+  "CMakeFiles/fig06_phase_behavior.dir/fig06_phase_behavior.cpp.o.d"
+  "fig06_phase_behavior"
+  "fig06_phase_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_phase_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

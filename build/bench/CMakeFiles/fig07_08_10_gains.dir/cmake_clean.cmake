@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_08_10_gains.dir/fig07_08_10_gains.cpp.o"
+  "CMakeFiles/fig07_08_10_gains.dir/fig07_08_10_gains.cpp.o.d"
+  "fig07_08_10_gains"
+  "fig07_08_10_gains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_08_10_gains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_08_10_gains.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_starvation_cdf.dir/fig09_starvation_cdf.cpp.o"
+  "CMakeFiles/fig09_starvation_cdf.dir/fig09_starvation_cdf.cpp.o.d"
+  "fig09_starvation_cdf"
+  "fig09_starvation_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_starvation_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_12_ipf_pairs.dir/fig11_12_ipf_pairs.cpp.o"
+  "CMakeFiles/fig11_12_ipf_pairs.dir/fig11_12_ipf_pairs.cpp.o.d"
+  "fig11_12_ipf_pairs"
+  "fig11_12_ipf_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_12_ipf_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_12_ipf_pairs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_16_scaling.dir/fig13_16_scaling.cpp.o"
+  "CMakeFiles/fig13_16_scaling.dir/fig13_16_scaling.cpp.o.d"
+  "fig13_16_scaling"
+  "fig13_16_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_16_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_router.dir/micro_router.cpp.o"
+  "CMakeFiles/micro_router.dir/micro_router.cpp.o.d"
+  "micro_router"
+  "micro_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

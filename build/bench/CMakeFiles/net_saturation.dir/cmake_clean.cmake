@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_saturation.dir/net_saturation.cpp.o"
+  "CMakeFiles/net_saturation.dir/net_saturation.cpp.o.d"
+  "net_saturation"
+  "net_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

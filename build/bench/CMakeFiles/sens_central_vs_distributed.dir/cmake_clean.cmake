@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_central_vs_distributed.dir/sens_central_vs_distributed.cpp.o"
+  "CMakeFiles/sens_central_vs_distributed.dir/sens_central_vs_distributed.cpp.o.d"
+  "sens_central_vs_distributed"
+  "sens_central_vs_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_central_vs_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sens_central_vs_distributed.
+# This may be replaced when dependencies are built.

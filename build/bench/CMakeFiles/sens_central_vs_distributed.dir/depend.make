@@ -1,0 +1,2 @@
+# Empty dependencies file for sens_central_vs_distributed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sens_parameters.dir/sens_parameters.cpp.o"
+  "CMakeFiles/sens_parameters.dir/sens_parameters.cpp.o.d"
+  "sens_parameters"
+  "sens_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sens_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

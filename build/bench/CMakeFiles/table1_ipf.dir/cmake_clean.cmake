@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ipf.dir/table1_ipf.cpp.o"
+  "CMakeFiles/table1_ipf.dir/table1_ipf.cpp.o.d"
+  "table1_ipf"
+  "table1_ipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

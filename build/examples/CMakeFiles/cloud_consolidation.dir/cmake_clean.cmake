@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_consolidation.dir/cloud_consolidation.cpp.o"
+  "CMakeFiles/cloud_consolidation.dir/cloud_consolidation.cpp.o.d"
+  "cloud_consolidation"
+  "cloud_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

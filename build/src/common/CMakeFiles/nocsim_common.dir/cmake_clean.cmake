@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocsim_common.dir/flags.cpp.o"
+  "CMakeFiles/nocsim_common.dir/flags.cpp.o.d"
+  "CMakeFiles/nocsim_common.dir/stats.cpp.o"
+  "CMakeFiles/nocsim_common.dir/stats.cpp.o.d"
+  "libnocsim_common.a"
+  "libnocsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocsim_core.dir/controller.cpp.o"
+  "CMakeFiles/nocsim_core.dir/controller.cpp.o.d"
+  "libnocsim_core.a"
+  "libnocsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cpp" "src/cpu/CMakeFiles/nocsim_cpu.dir/core.cpp.o" "gcc" "src/cpu/CMakeFiles/nocsim_cpu.dir/core.cpp.o.d"
+  "/root/repo/src/cpu/file_trace.cpp" "src/cpu/CMakeFiles/nocsim_cpu.dir/file_trace.cpp.o" "gcc" "src/cpu/CMakeFiles/nocsim_cpu.dir/file_trace.cpp.o.d"
+  "/root/repo/src/cpu/l2map.cpp" "src/cpu/CMakeFiles/nocsim_cpu.dir/l2map.cpp.o" "gcc" "src/cpu/CMakeFiles/nocsim_cpu.dir/l2map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nocsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nocsim_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocsim_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

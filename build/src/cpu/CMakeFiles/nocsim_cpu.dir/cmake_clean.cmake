@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocsim_cpu.dir/core.cpp.o"
+  "CMakeFiles/nocsim_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/nocsim_cpu.dir/file_trace.cpp.o"
+  "CMakeFiles/nocsim_cpu.dir/file_trace.cpp.o.d"
+  "CMakeFiles/nocsim_cpu.dir/l2map.cpp.o"
+  "CMakeFiles/nocsim_cpu.dir/l2map.cpp.o.d"
+  "libnocsim_cpu.a"
+  "libnocsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nocsim_cpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/bless_fabric.cpp" "src/noc/CMakeFiles/nocsim_noc.dir/bless_fabric.cpp.o" "gcc" "src/noc/CMakeFiles/nocsim_noc.dir/bless_fabric.cpp.o.d"
+  "/root/repo/src/noc/buffered_fabric.cpp" "src/noc/CMakeFiles/nocsim_noc.dir/buffered_fabric.cpp.o" "gcc" "src/noc/CMakeFiles/nocsim_noc.dir/buffered_fabric.cpp.o.d"
+  "/root/repo/src/noc/traffic.cpp" "src/noc/CMakeFiles/nocsim_noc.dir/traffic.cpp.o" "gcc" "src/noc/CMakeFiles/nocsim_noc.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nocsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nocsim_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

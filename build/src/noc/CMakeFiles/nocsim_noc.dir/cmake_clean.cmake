@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocsim_noc.dir/bless_fabric.cpp.o"
+  "CMakeFiles/nocsim_noc.dir/bless_fabric.cpp.o.d"
+  "CMakeFiles/nocsim_noc.dir/buffered_fabric.cpp.o"
+  "CMakeFiles/nocsim_noc.dir/buffered_fabric.cpp.o.d"
+  "CMakeFiles/nocsim_noc.dir/traffic.cpp.o"
+  "CMakeFiles/nocsim_noc.dir/traffic.cpp.o.d"
+  "libnocsim_noc.a"
+  "libnocsim_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocsim_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocsim_sim.dir/experiment.cpp.o"
+  "CMakeFiles/nocsim_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/nocsim_sim.dir/simulator.cpp.o"
+  "CMakeFiles/nocsim_sim.dir/simulator.cpp.o.d"
+  "libnocsim_sim.a"
+  "libnocsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocsim_topology.dir/topology.cpp.o"
+  "CMakeFiles/nocsim_topology.dir/topology.cpp.o.d"
+  "libnocsim_topology.a"
+  "libnocsim_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocsim_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

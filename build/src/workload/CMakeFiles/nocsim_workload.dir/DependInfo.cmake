@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_profile.cpp" "src/workload/CMakeFiles/nocsim_workload.dir/app_profile.cpp.o" "gcc" "src/workload/CMakeFiles/nocsim_workload.dir/app_profile.cpp.o.d"
+  "/root/repo/src/workload/workload.cpp" "src/workload/CMakeFiles/nocsim_workload.dir/workload.cpp.o" "gcc" "src/workload/CMakeFiles/nocsim_workload.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nocsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/nocsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocsim_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nocsim_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocsim_workload.dir/app_profile.cpp.o"
+  "CMakeFiles/nocsim_workload.dir/app_profile.cpp.o.d"
+  "CMakeFiles/nocsim_workload.dir/workload.cpp.o"
+  "CMakeFiles/nocsim_workload.dir/workload.cpp.o.d"
+  "libnocsim_workload.a"
+  "libnocsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

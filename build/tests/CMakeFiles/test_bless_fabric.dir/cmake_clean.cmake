@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bless_fabric.dir/test_bless_fabric.cpp.o"
+  "CMakeFiles/test_bless_fabric.dir/test_bless_fabric.cpp.o.d"
+  "test_bless_fabric"
+  "test_bless_fabric.pdb"
+  "test_bless_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bless_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

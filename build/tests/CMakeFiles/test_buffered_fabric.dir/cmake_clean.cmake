@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffered_fabric.dir/test_buffered_fabric.cpp.o"
+  "CMakeFiles/test_buffered_fabric.dir/test_buffered_fabric.cpp.o.d"
+  "test_buffered_fabric"
+  "test_buffered_fabric.pdb"
+  "test_buffered_fabric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffered_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_trace.dir/test_file_trace.cpp.o"
+  "CMakeFiles/test_file_trace.dir/test_file_trace.cpp.o.d"
+  "test_file_trace"
+  "test_file_trace.pdb"
+  "test_file_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_l2map.dir/test_l2map.cpp.o"
+  "CMakeFiles/test_l2map.dir/test_l2map.cpp.o.d"
+  "test_l2map"
+  "test_l2map.pdb"
+  "test_l2map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_l2map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_behavior.dir/test_paper_behavior.cpp.o"
+  "CMakeFiles/test_paper_behavior.dir/test_paper_behavior.cpp.o.d"
+  "test_paper_behavior"
+  "test_paper_behavior.pdb"
+  "test_paper_behavior[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
