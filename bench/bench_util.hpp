@@ -15,8 +15,47 @@
 #include "common/csv.hpp"
 #include "common/flags.hpp"
 #include "sim/experiment.hpp"
+#include "sim/sweep.hpp"
 
 namespace nocsim::bench {
+
+/// Per-bench sweep plumbing: registers the standard --jobs, --run-log and
+/// --derive-seeds flags, owns the RunLog, and hands out a SweepRunner bound
+/// to it. Construct before flags.finish(); call flush() after the figure's
+/// CSV has been emitted to write <stem>.runs.{csv,json} next to it.
+///
+/// The figure benches default --derive-seeds off: their seeds are
+/// hand-pinned per point (EXPERIMENTS.md's numbers are reproduced from
+/// them), so the sweep output is byte-identical to the historical serial
+/// drivers for every --jobs value. Passing --derive-seeds fans the seeds
+/// out per point instead (see sim/sweep.hpp).
+class SweepContext {
+ public:
+  explicit SweepContext(Flags& flags) {
+    SweepOptions options;
+    options.jobs = get_jobs(flags);
+    options.derive_seeds = flags.get_bool(
+        "derive-seeds", false, "mix each point's sweep position into its seed");
+    stem_ = flags.get_string(
+        "run-log", flags.program_name(),
+        "path stem for per-run records (<stem>.runs.csv/.json; \"\" disables)");
+    options.log = &log_;
+    runner_ = SweepRunner(options);
+  }
+
+  [[nodiscard]] SweepRunner& runner() { return runner_; }
+  [[nodiscard]] RunLog& log() { return log_; }
+
+  /// Write the per-run record files (no-op when --run-log="").
+  void flush() {
+    if (!stem_.empty()) log_.write_files(stem_);
+  }
+
+ private:
+  RunLog log_;
+  SweepRunner runner_;
+  std::string stem_;
+};
 
 /// Scaled-down Table 2 configuration shared by the small-NoC benches.
 /// The controller epoch shrinks with the run length so the mechanism still

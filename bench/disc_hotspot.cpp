@@ -24,6 +24,7 @@ int run(int argc, char** argv) {
       static_cast<Cycle>(flags.get_int("cycles", 100'000, "measured cycles per run"));
   const int cluster =
       static_cast<int>(flags.get_int("cluster", 3, "side of the hot corner cluster"));
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
 
   // Heavy cluster in the top-left corner; light apps elsewhere.
@@ -41,6 +42,32 @@ int run(int argc, char** argv) {
     }
   }
 
+  // Four variants of the same scenario; one seed stream so all arms compare
+  // like for like under --derive-seeds.
+  SimConfig base;
+  base.width = base.height = side;
+  base.l2_map = "exponential";
+  base.warmup_cycles = 20'000;
+  base.measure_cycles = measure;
+  base.cc_params.epoch = measure / 8;
+
+  SimConfig cc = base;
+  cc.cc = CcMode::Central;
+
+  SimConfig adaptive = base;
+  adaptive.adaptive_routing = true;
+
+  SimConfig both = adaptive;
+  both.cc = CcMode::Central;
+
+  const std::vector<SweepPoint> points = {
+      {base, wl, "bless-xy", 0},
+      {cc, wl, "bless-xy+throttling", 0},
+      {adaptive, wl, "bless-adaptive", 0},
+      {both, wl, "bless-adaptive+throttling", 0},
+  };
+  const std::vector<SimResult> results = sweep.runner().run(points);
+
   CsvWriter csv(std::cout);
   csv.comment("Section 7 exploration: " + std::to_string(cluster) + "x" +
               std::to_string(cluster) + " heavy cluster in an 8x8 mesh of light apps,");
@@ -49,8 +76,8 @@ int run(int argc, char** argv) {
   csv.header({"variant", "cluster_ipc_per_node", "rest_ipc_per_node", "system_ipc",
               "cluster_starvation", "avg_net_latency"});
 
-  const auto report = [&](const std::string& name, const SimConfig& config) {
-    const SimResult r = run_workload(config, wl);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const SimResult& r = results[p];
     double cluster_ipc = 0, rest_ipc = 0, cluster_starv = 0;
     int nc = 0, nr = 0;
     for (int i = 0; i < side * side; ++i) {
@@ -64,29 +91,10 @@ int run(int argc, char** argv) {
         ++nr;
       }
     }
-    csv.row(name, cluster_ipc / nc, rest_ipc / nr, r.system_throughput(), cluster_starv / nc,
-            r.avg_net_latency);
-  };
-
-  SimConfig base;
-  base.width = base.height = side;
-  base.l2_map = "exponential";
-  base.warmup_cycles = 20'000;
-  base.measure_cycles = measure;
-  base.cc_params.epoch = measure / 8;
-  report("bless-xy", base);
-
-  SimConfig cc = base;
-  cc.cc = CcMode::Central;
-  report("bless-xy+throttling", cc);
-
-  SimConfig adaptive = base;
-  adaptive.adaptive_routing = true;
-  report("bless-adaptive", adaptive);
-
-  SimConfig both = adaptive;
-  both.cc = CcMode::Central;
-  report("bless-adaptive+throttling", both);
+    csv.row(points[p].label, cluster_ipc / nc, rest_ipc / nr, r.system_throughput(),
+            cluster_starv / nc, r.avg_net_latency);
+  }
+  sweep.flush();
   return 0;
 }
 

@@ -22,7 +22,19 @@ int run(int argc, char** argv) {
       flags.get_int("seeds", 4, "workloads per category for panels (a)/(b)"));
   const auto sweep_measure = static_cast<Cycle>(
       flags.get_int("sweep-cycles", 150'000, "measured cycles per throttle point (c)"));
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
+
+  std::vector<SweepPoint> ab_points;
+  for (const std::string& cat : workload_categories()) {
+    for (int s = 0; s < seeds; ++s) {
+      Rng rng(17 + 31 * s);
+      const auto wl = make_category_workload(cat, 16, rng);
+      ab_points.push_back(
+          {small_noc_config(measure, s + 1), wl, "ab/" + cat + "-" + std::to_string(s), {}});
+    }
+  }
+  const std::vector<SimResult> ab = sweep.runner().run(ab_points);
 
   CsvWriter csv(std::cout);
   csv.comment("Figure 2(a)/(b): network latency and starvation rate vs utilization, 4x4 BLESS.");
@@ -30,12 +42,10 @@ int run(int argc, char** argv) {
   csv.header({"panel", "workload", "category", "utilization", "avg_net_latency_cycles",
               "starvation_rate"});
 
+  std::size_t k = 0;
   for (const std::string& cat : workload_categories()) {
     for (int s = 0; s < seeds; ++s) {
-      Rng rng(17 + 31 * s);
-      const auto wl = make_category_workload(cat, 16, rng);
-      SimConfig c = small_noc_config(measure, s + 1);
-      const SimResult r = run_workload(c, wl);
+      const SimResult& r = ab[k++];
       csv.row("ab", cat + "-" + std::to_string(s), cat, r.utilization, r.avg_net_latency,
               r.avg_starvation);
     }
@@ -56,21 +66,27 @@ int run(int argc, char** argv) {
     const char* apps[4] = {"matlab", "art.ref.train", "mcf2", "sphinx3"};
     for (int i = 0; i < 16; ++i) heavy.app_names.push_back(apps[i % 4]);
   }
-  double base_throughput = 0.0;
-  for (const double rate :
-       {0.0, 0.1, 0.2, 0.3, 0.35, 0.4, 0.45, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+  const std::vector<double> rates = {0.0, 0.1, 0.2,  0.3, 0.35, 0.4,
+                                     0.45, 0.5, 0.6, 0.7, 0.8,  0.9};
+  std::vector<SweepPoint> c_points;
+  for (const double rate : rates) {
     SimConfig c = small_noc_config(sweep_measure, 3);
     c.randomized_throttle_gate = false;  // Algorithm 3 verbatim
     if (rate > 0.0) {
       c.cc = CcMode::Static;
       c.static_rate = rate;
     }
-    const SimResult r = run_workload(c, heavy);
+    c_points.push_back({c, heavy, "c/rate=" + std::to_string(rate), {}});
+  }
+  const std::vector<SimResult> panel_c = sweep.runner().run(c_points);
+  const double base_throughput = panel_c[0].system_throughput();
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const SimResult& r = panel_c[i];
     const double throughput = r.system_throughput();
-    if (rate == 0.0) base_throughput = throughput;
-    csv.row("c", rate, r.utilization, throughput,
+    csv.row("c", rates[i], r.utilization, throughput,
             100.0 * (throughput / base_throughput - 1.0), r.avg_total_latency);
   }
+  sweep.flush();
   return 0;
 }
 

@@ -13,7 +13,19 @@ int run(int argc, char** argv) {
   const int side = static_cast<int>(flags.get_int("side", 64, "mesh side (paper: 64)"));
   const auto measure =
       static_cast<Cycle>(flags.get_int("cycles", 14'000, "measured cycles per point"));
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
+
+  Rng rng(101);
+  const auto wl = make_category_workload("H", side * side, rng);
+  const std::vector<double> inv_lambdas = {1.0, 2.0, 4.0, 8.0, 16.0};
+  std::vector<SweepPoint> points;
+  for (const double inv_lambda : inv_lambdas) {
+    SimConfig c = scaling_config(side, measure);
+    c.locality_lambda = 1.0 / inv_lambda;
+    points.push_back({c, wl, "inv_lambda=" + std::to_string(inv_lambda), {}});
+  }
+  const std::vector<SimResult> results = sweep.runner().run(points);
 
   CsvWriter csv(std::cout);
   csv.comment("Figure 4: IPC/node vs average hop distance (1/lambda), " +
@@ -23,14 +35,11 @@ int run(int argc, char** argv) {
   csv.header({"avg_hop_distance_target", "hops_per_flit_measured", "ipc_per_node",
               "utilization", "avg_net_latency_cycles"});
 
-  Rng rng(101);
-  const auto wl = make_category_workload("H", side * side, rng);
-  for (const double inv_lambda : {1.0, 2.0, 4.0, 8.0, 16.0}) {
-    SimConfig c = scaling_config(side, measure);
-    c.locality_lambda = 1.0 / inv_lambda;
-    const SimResult r = run_workload(c, wl);
-    csv.row(inv_lambda, r.avg_hops, r.ipc_per_node(), r.utilization, r.avg_net_latency);
+  for (std::size_t i = 0; i < inv_lambdas.size(); ++i) {
+    const SimResult& r = results[i];
+    csv.row(inv_lambdas[i], r.avg_hops, r.ipc_per_node(), r.utilization, r.avg_net_latency);
   }
+  sweep.flush();
   return 0;
 }
 

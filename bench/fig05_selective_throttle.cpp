@@ -23,6 +23,7 @@ int run(int argc, char** argv) {
   const double rate = flags.get_double("rate", 0.9, "static throttle rate (paper: 0.9)");
   const std::string app_a = flags.get_string("heavy", "mcf", "memory-intensive app");
   const std::string app_b = flags.get_string("light", "gromacs", "CPU-bound app");
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
 
   const auto wl = make_checkerboard_workload(app_a, app_b, 4, 4);
@@ -39,19 +40,27 @@ int run(int argc, char** argv) {
     }
     return sum / n;
   };
-  const auto throttled_run = [&](const std::string& victim) {
+  const auto throttled_config = [&](const std::string& victim) {
     SimConfig c = base_cfg;
     c.cc = CcMode::Selective;
     c.selective_rates.assign(16, 0.0);
     for (int i = 0; i < 16; ++i) {
       if (wl.app_names[i] == victim) c.selective_rates[i] = rate;
     }
-    return run_workload(c, wl);
+    return c;
   };
 
-  const SimResult base = run_workload(base_cfg, wl);
-  const SimResult thr_b = throttled_run(app_b);
-  const SimResult thr_a = throttled_run(app_a);
+  // All three arms observe the same workload; a shared seed stream keeps
+  // them comparable under --derive-seeds.
+  const std::vector<SweepPoint> points = {
+      {base_cfg, wl, "baseline", 0},
+      {throttled_config(app_b), wl, "throttle_" + app_b, 0},
+      {throttled_config(app_a), wl, "throttle_" + app_a, 0},
+  };
+  const std::vector<SimResult> results = sweep.runner().run(points);
+  const SimResult& base = results[0];
+  const SimResult& thr_b = results[1];
+  const SimResult& thr_a = results[2];
 
   CsvWriter csv(std::cout);
   csv.comment("Figure 5: selective 90% static throttling, 8x " + app_a + " + 8x " + app_b +
@@ -72,6 +81,7 @@ int run(int argc, char** argv) {
   emit("baseline", base);
   emit("throttle_" + app_b, thr_b);
   emit("throttle_" + app_a, thr_a);
+  sweep.flush();
   return 0;
 }
 

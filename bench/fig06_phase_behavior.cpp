@@ -18,6 +18,7 @@ int run(int argc, char** argv) {
       static_cast<Cycle>(flags.get_int("bin", 10'000, "trace bin width, cycles"));
   const std::string apps_flag = flags.get_string(
       "apps", "mcf,mcf2,sphinx3,matlab,bzip2", "comma-separated application list");
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
 
   std::vector<std::string> apps;
@@ -28,12 +29,7 @@ int run(int argc, char** argv) {
     pos = comma + 1;
   }
 
-  CsvWriter csv(std::cout);
-  csv.comment("Figure 6: injected flits per " + std::to_string(bin) +
-              "-cycle bin over time, one application per run (alone in a 4x4 mesh).");
-  csv.comment("Paper: injection intensity varies with application phases (bursts, waves).");
-  csv.header({"app", "bin_start_cycle", "flits_injected", "flits_per_cycle"});
-
+  std::vector<SweepPoint> points;
   for (const std::string& app : apps) {
     SimConfig c = small_noc_config(measure, 3);
     c.record_injection_trace = true;
@@ -42,12 +38,24 @@ int run(int argc, char** argv) {
     wl.category = app;
     wl.app_names.assign(16, "");
     wl.app_names[5] = app;
-    const SimResult r = run_workload(c, wl);
+    points.push_back({c, wl, app, {}});
+  }
+  const std::vector<SimResult> results = sweep.runner().run(points);
+
+  CsvWriter csv(std::cout);
+  csv.comment("Figure 6: injected flits per " + std::to_string(bin) +
+              "-cycle bin over time, one application per run (alone in a 4x4 mesh).");
+  csv.comment("Paper: injection intensity varies with application phases (bursts, waves).");
+  csv.header({"app", "bin_start_cycle", "flits_injected", "flits_per_cycle"});
+
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    const SimResult& r = results[i];
     for (std::size_t b = 0; b < r.injection_trace[5].size(); ++b) {
       const auto flits = r.injection_trace[5][b];
-      csv.row(app, b * bin, flits, static_cast<double>(flits) / static_cast<double>(bin));
+      csv.row(apps[i], b * bin, flits, static_cast<double>(flits) / static_cast<double>(bin));
     }
   }
+  sweep.flush();
   return 0;
 }
 

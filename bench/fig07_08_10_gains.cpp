@@ -29,7 +29,68 @@ int run(int argc, char** argv) {
   const bool with_8x8 = flags.get_bool("with-8x8", true, "include the 8x8 mesh");
   const bool with_ws = flags.get_bool("weighted-speedup", true,
                                       "compute Fig. 10 (needs alone-runs; slower)");
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
+
+  std::vector<int> sides = {4};
+  if (with_8x8) sides.push_back(8);
+
+  // Enumerate the whole (mesh, category, seed) population up front; each
+  // workload contributes a (baseline, throttled) pair of sweep points
+  // sharing a seed stream.
+  struct Job {
+    std::string category;
+    int side;
+    int seed;
+    WorkloadSpec wl;
+  };
+  std::vector<Job> jobs;
+  for (const int side : sides) {
+    for (const std::string& cat : workload_categories()) {
+      for (int s = 0; s < seeds; ++s) {
+        Rng rng(1000 * side + 31 * s + 7);
+        jobs.push_back({cat, side, s, make_category_workload(cat, side * side, rng)});
+      }
+    }
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(2 * jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Job& job = jobs[j];
+    SimConfig c = small_noc_config(measure, 1);
+    c.width = c.height = job.side;
+    c.seed = job.seed + 1;
+    const std::string tag = std::to_string(job.side) + "x" + std::to_string(job.side) + "/" +
+                            job.category + "-" + std::to_string(job.seed);
+    points.push_back({c, job.wl, tag + "/base", j});
+    SimConfig cc = c;
+    cc.cc = CcMode::Central;
+    points.push_back({cc, job.wl, tag + "/cc", j});
+  }
+  const std::vector<SimResult> results = sweep.runner().run(points);
+
+  // Alone-run IPCs for weighted speedup, primed in parallel per mesh size
+  // (the cache key is the application, and the base network differs by side).
+  std::vector<double> ws_gain(jobs.size(), 0.0);
+  if (with_ws) {
+    for (const int side : sides) {
+      SimConfig base_cfg = small_noc_config(measure, 1);
+      base_cfg.width = base_cfg.height = side;
+      AloneIpcCache alone(base_cfg);
+      std::vector<WorkloadSpec> side_wls;
+      for (const Job& job : jobs) {
+        if (job.side == side) side_wls.push_back(job.wl);
+      }
+      alone.prime(side_wls, sweep.runner());
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (jobs[j].side != side) continue;
+        const auto alone_ipc = alone.get(jobs[j].wl);
+        ws_gain[j] = 100.0 * (weighted_speedup(results[2 * j + 1], alone_ipc) /
+                                  weighted_speedup(results[2 * j], alone_ipc) -
+                              1.0);
+      }
+    }
+  }
 
   struct Row {
     std::string category;
@@ -37,36 +98,12 @@ int run(int argc, char** argv) {
     double util, gain_pct, ws_gain_pct;
   };
   std::vector<Row> rows;
-
-  std::vector<int> sides = {4};
-  if (with_8x8) sides.push_back(8);
-
-  for (const int side : sides) {
-    SimConfig base_cfg = small_noc_config(measure, 1);
-    base_cfg.width = base_cfg.height = side;
-    AloneIpcCache alone(base_cfg);
-    for (const std::string& cat : workload_categories()) {
-      for (int s = 0; s < seeds; ++s) {
-        Rng rng(1000 * side + 31 * s + 7);
-        const auto wl = make_category_workload(cat, side * side, rng);
-        SimConfig c = base_cfg;
-        c.seed = s + 1;
-        const SimResult base = run_workload(c, wl);
-        SimConfig cc = c;
-        cc.cc = CcMode::Central;
-        const SimResult thr = run_workload(cc, wl);
-        double ws_gain = 0.0;
-        if (with_ws) {
-          const auto alone_ipc = alone.get(wl);
-          ws_gain = 100.0 * (weighted_speedup(thr, alone_ipc) /
-                                 weighted_speedup(base, alone_ipc) -
-                             1.0);
-        }
-        rows.push_back({cat, side, base.utilization,
-                        100.0 * (thr.system_throughput() / base.system_throughput() - 1.0),
-                        ws_gain});
-      }
-    }
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const SimResult& base = results[2 * j];
+    const SimResult& thr = results[2 * j + 1];
+    rows.push_back({jobs[j].category, jobs[j].side, base.utilization,
+                    100.0 * (thr.system_throughput() / base.system_throughput() - 1.0),
+                    ws_gain[j]});
   }
 
   CsvWriter csv(std::cout);
@@ -113,6 +150,7 @@ int run(int argc, char** argv) {
               r.util, r.ws_gain_pct);
     }
   }
+  sweep.flush();
   return 0;
 }
 

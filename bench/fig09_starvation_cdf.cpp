@@ -18,25 +18,40 @@ int run(int argc, char** argv) {
       static_cast<Cycle>(flags.get_int("cycles", 120'000, "measured cycles per run"));
   const double util_floor =
       flags.get_double("util-floor", 0.60, "congestion filter on baseline utilization");
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
 
-  EmpiricalCdf base_cdf, throttled_cdf, base_net_cdf, throttled_net_cdf;
-  // Heavy-leaning categories produce the congested population.
-  for (const std::string& cat : {std::string("H"), std::string("HM"), std::string("HML")}) {
+  // Heavy-leaning categories produce the congested population. Both arms of
+  // every pair run up front (the serial driver skipped the throttled run
+  // for under-threshold workloads; running it costs nothing in parallel and
+  // the filter below discards it identically).
+  const std::vector<std::string> cats = {"H", "HM", "HML"};
+  std::vector<SweepPoint> points;
+  std::size_t pair = 0;
+  for (const std::string& cat : cats) {
     for (int s = 0; s < seeds; ++s) {
       Rng rng(91 + 13 * s);
       const auto wl = make_category_workload(cat, 16, rng);
       SimConfig c = small_noc_config(measure, s + 1);
-      const SimResult base = run_workload(c, wl);
-      if (base.utilization <= util_floor) continue;
+      const std::string tag = cat + "-" + std::to_string(s);
+      points.push_back({c, wl, tag + "/base", pair});
       SimConfig cc = c;
       cc.cc = CcMode::Central;
-      const SimResult thr = run_workload(cc, wl);
-      base_cdf.add(base.avg_starvation);
-      throttled_cdf.add(thr.avg_starvation);
-      base_net_cdf.add(base.avg_starvation_network);
-      throttled_net_cdf.add(thr.avg_starvation_network);
+      points.push_back({cc, wl, tag + "/cc", pair});
+      ++pair;
     }
+  }
+  const std::vector<SimResult> results = sweep.runner().run(points);
+
+  EmpiricalCdf base_cdf, throttled_cdf, base_net_cdf, throttled_net_cdf;
+  for (std::size_t p = 0; p < pair; ++p) {
+    const SimResult& base = results[2 * p];
+    if (base.utilization <= util_floor) continue;
+    const SimResult& thr = results[2 * p + 1];
+    base_cdf.add(base.avg_starvation);
+    throttled_cdf.add(thr.avg_starvation);
+    base_net_cdf.add(base.avg_starvation_network);
+    throttled_net_cdf.add(thr.avg_starvation_network);
   }
 
   CsvWriter csv(std::cout);
@@ -59,6 +74,7 @@ int run(int argc, char** argv) {
               std::to_string(base_net_cdf.size() ? 1.0 - base_net_cdf.at(0.2) : 0.0) +
               ", BLESS-Throttling " +
               std::to_string(throttled_net_cdf.size() ? 1.0 - throttled_net_cdf.at(0.2) : 0.0));
+  sweep.flush();
   return 0;
 }
 

@@ -18,6 +18,7 @@ int run(int argc, char** argv) {
   Flags flags(argc, argv);
   const auto measure = static_cast<Cycle>(
       flags.get_int("cycles", 120'000, "measured cycles per pair"));
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
 
   // Ladder across the IPF spectrum (published means in parentheses).
@@ -30,6 +31,21 @@ int run(int argc, char** argv) {
       "povray",     // 20708.5
   };
 
+  std::vector<SweepPoint> points;
+  std::size_t pair = 0;
+  for (const std::string& a : ladder) {
+    for (const std::string& b : ladder) {
+      const auto wl = make_checkerboard_workload(a, b, 4, 4);
+      SimConfig c = small_noc_config(measure, 3);
+      points.push_back({c, wl, a + "+" + b + "/base", pair});
+      SimConfig cc = c;
+      cc.cc = CcMode::Central;
+      points.push_back({cc, wl, a + "+" + b + "/cc", pair});
+      ++pair;
+    }
+  }
+  const std::vector<SimResult> results = sweep.runner().run(points);
+
   CsvWriter csv(std::cout);
   csv.comment("Figures 11/12: 8+8 checkerboard of (app1, app2) across the IPF ladder.");
   csv.comment("Paper: baseline utilization is high iff either IPF is low (Fig 12); with CC");
@@ -37,14 +53,12 @@ int run(int argc, char** argv) {
   csv.header({"app1", "app2", "ipf1_published", "ipf2_published", "baseline_utilization",
               "app1_gain_pct", "app2_gain_pct", "system_gain_pct"});
 
+  std::size_t p = 0;
   for (const std::string& a : ladder) {
     for (const std::string& b : ladder) {
-      const auto wl = make_checkerboard_workload(a, b, 4, 4);
-      SimConfig c = small_noc_config(measure, 3);
-      const SimResult base = run_workload(c, wl);
-      SimConfig cc = c;
-      cc.cc = CcMode::Central;
-      const SimResult thr = run_workload(cc, wl);
+      const SimResult& base = results[2 * p];
+      const SimResult& thr = results[2 * p + 1];
+      ++p;
 
       // Per-app mean IPC over the checkerboard positions. When a == b the
       // "two apps" coincide; report the same value on both axes.
@@ -66,6 +80,7 @@ int run(int argc, char** argv) {
               100.0 * (thr.system_throughput() / base.system_throughput() - 1.0));
     }
   }
+  sweep.flush();
   return 0;
 }
 

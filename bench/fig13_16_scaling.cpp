@@ -13,6 +13,12 @@
 namespace nocsim::bench {
 namespace {
 
+const std::vector<std::string>& archs() {
+  static const std::vector<std::string> a = {"BLESS", "BLESS-Throttling",
+                                            "BLESS-Throttling-NoEsc", "Buffered"};
+  return a;
+}
+
 int run(int argc, char** argv) {
   Flags flags(argc, argv);
   const int max_side =
@@ -21,7 +27,30 @@ int run(int argc, char** argv) {
       flags.get_int("cycles", 150'000, "measured cycles at 4x4 (shrinks with size)"));
   const std::string category =
       flags.get_string("category", "H", "workload category (paper: high intensity)");
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
+
+  std::vector<SweepPoint> points;
+  std::size_t group = 0;
+  for (int side = 4; side <= max_side; side *= 2) {
+    const Cycle measure = scaled_measure(side, base_cycles);
+    Rng rng(101);
+    const auto wl = make_category_workload(category, side * side, rng);
+    for (const std::string& arch : archs()) {
+      SimConfig c = scaling_config(side, measure);
+      if (arch == "BLESS-Throttling") c.cc = CcMode::Central;
+      if (arch == "BLESS-Throttling-NoEsc") {
+        // Ablation: the paper's mechanism verbatim, without our hop-inflation
+        // escalation extension (see CcParams::escalation).
+        c.cc = CcMode::Central;
+        c.cc_params.escalation = false;
+      }
+      if (arch == "Buffered") c.router = RouterKind::Buffered;
+      points.push_back({c, wl, std::to_string(side * side) + "/" + arch, group});
+    }
+    ++group;
+  }
+  const std::vector<SimResult> results = sweep.runner().run(points);
 
   CsvWriter csv(std::cout);
   csv.comment("Figures 13-16: BLESS vs BLESS-Throttling vs Buffered, locality lambda=1, " +
@@ -32,28 +61,11 @@ int run(int argc, char** argv) {
   csv.header({"cores", "arch", "ipc_per_node", "avg_net_latency_cycles", "utilization",
               "avg_power_units", "starvation_rate"});
 
-  struct ArchResult {
-    double power = 0;
-  };
+  std::size_t k = 0;
   for (int side = 4; side <= max_side; side *= 2) {
-    const Cycle measure = scaled_measure(side, base_cycles);
-    Rng rng(101);
-    const auto wl = make_category_workload(category, side * side, rng);
-
     double power_bless = 0, power_throttled = 0, power_buffered = 0;
-    for (const std::string& arch :
-         {std::string("BLESS"), std::string("BLESS-Throttling"),
-          std::string("BLESS-Throttling-NoEsc"), std::string("Buffered")}) {
-      SimConfig c = scaling_config(side, measure);
-      if (arch == "BLESS-Throttling") c.cc = CcMode::Central;
-      if (arch == "BLESS-Throttling-NoEsc") {
-        // Ablation: the paper's mechanism verbatim, without our hop-inflation
-        // escalation extension (see CcParams::escalation).
-        c.cc = CcMode::Central;
-        c.cc_params.escalation = false;
-      }
-      if (arch == "Buffered") c.router = RouterKind::Buffered;
-      const SimResult r = run_workload(c, wl);
+    for (const std::string& arch : archs()) {
+      const SimResult& r = results[k++];
       const double power = r.power.average_power(r.cycles);
       if (arch == "BLESS") power_bless = power;
       if (arch == "BLESS-Throttling") power_throttled = power;
@@ -67,6 +79,7 @@ int run(int argc, char** argv) {
                 std::to_string(100.0 * (1.0 - power_throttled / power_buffered)) +
                 "% vs Buffered");
   }
+  sweep.flush();
   return 0;
 }
 

@@ -9,6 +9,7 @@
 // the NI, visible as the gap between offered and accepted load), and
 // deflection-inflated hop counts near saturation.
 #include <deque>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "noc/bless_fabric.hpp"
@@ -66,10 +67,44 @@ int run(int argc, char** argv) {
       static_cast<Cycle>(flags.get_int("cycles", 20'000, "cycles per load point"));
   const std::string pattern_name =
       flags.get_string("pattern", "uniform", "uniform | transpose | hotspot | exponential");
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
 
-  Mesh mesh(side, side);
+  // The topology and pattern are shared read-only; every task builds its own
+  // fabric and writes its own result slot (this bench has no Simulator, so
+  // it rides the runner's generic run_indexed escape hatch).
+  const Mesh mesh(side, side);
   const auto pattern = make_traffic_pattern(pattern_name, mesh, 1.0);
+  const std::uint64_t seed = 11;
+
+  const std::vector<std::string> arch_names = {"bless-xy", "bless-adaptive", "buffered"};
+  const std::vector<double> rates = {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.55};
+  std::vector<OpenLoopResult> results(arch_names.size() * rates.size());
+
+  sweep.runner().run_indexed(results.size(), [&](std::size_t i) {
+    const std::size_t a = i / rates.size();
+    const double rate = rates[i % rates.size()];
+    const std::string& arch = arch_names[a];
+    std::unique_ptr<Fabric> fabric;
+    if (arch == "bless-xy")
+      fabric = std::make_unique<BlessFabric>(mesh, 2, 1, BlessRouting::StrictXY);
+    else if (arch == "bless-adaptive")
+      fabric = std::make_unique<BlessFabric>(mesh, 2, 1, BlessRouting::MinimalAdaptive);
+    else
+      fabric = std::make_unique<BufferedFabric>(mesh);
+    results[i] = run_open_loop(*fabric, *pattern, rate, cycles, seed);
+
+    RunRecord rec;
+    rec.label = arch + "@" + std::to_string(rate);
+    rec.config_hash = derive_seed(a + 1, static_cast<std::uint64_t>(rate * 10'000));
+    rec.seed = seed;
+    rec.cycles = cycles;
+    rec.system_throughput = results[i].accepted;
+    rec.avg_net_latency = results[i].net_latency;
+    rec.utilization = results[i].accepted;
+    rec.deflection_rate = results[i].deflections;
+    return rec;
+  });
 
   CsvWriter csv(std::cout);
   csv.comment("Open-loop saturation study, " + std::to_string(side) + "x" +
@@ -80,20 +115,14 @@ int run(int argc, char** argv) {
   csv.header({"arch", "offered_rate", "accepted_rate", "net_latency", "total_latency",
               "hops_per_flit", "deflections_per_flit"});
 
-  for (const std::string& arch :
-       {std::string("bless-xy"), std::string("bless-adaptive"), std::string("buffered")}) {
-    for (const double rate : {0.02, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.55}) {
-      std::unique_ptr<Fabric> fabric;
-      if (arch == "bless-xy")
-        fabric = std::make_unique<BlessFabric>(mesh, 2, 1, BlessRouting::StrictXY);
-      else if (arch == "bless-adaptive")
-        fabric = std::make_unique<BlessFabric>(mesh, 2, 1, BlessRouting::MinimalAdaptive);
-      else
-        fabric = std::make_unique<BufferedFabric>(mesh);
-      const OpenLoopResult r = run_open_loop(*fabric, *pattern, rate, cycles, 11);
+  std::size_t k = 0;
+  for (const std::string& arch : arch_names) {
+    for (const double rate : rates) {
+      const OpenLoopResult& r = results[k++];
       csv.row(arch, rate, r.accepted, r.net_latency, r.total_latency, r.hops, r.deflections);
     }
   }
+  sweep.flush();
   return 0;
 }
 

@@ -15,7 +15,37 @@ int run(int argc, char** argv) {
   const int seeds = static_cast<int>(flags.get_int("seeds", 4, "workloads per category"));
   const auto measure =
       static_cast<Cycle>(flags.get_int("cycles", 120'000, "measured cycles per run"));
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
+
+  // Four arms per workload: baseline, central, central with modelled
+  // control traffic, distributed. One seed stream per workload.
+  const std::vector<std::string> cats = {"H", "HM"};
+  std::vector<SweepPoint> points;
+  std::size_t group = 0;
+  for (const std::string& cat : cats) {
+    for (int s = 0; s < seeds; ++s) {
+      Rng rng(55 + 13 * s);
+      const auto wl = make_category_workload(cat, 16, rng);
+      SimConfig c = small_noc_config(measure, s + 1);
+      const std::string tag = cat + "-" + std::to_string(s);
+      points.push_back({c, wl, tag + "/base", group});
+
+      SimConfig cen = c;
+      cen.cc = CcMode::Central;
+      points.push_back({cen, wl, tag + "/central", group});
+
+      SimConfig cen_t = cen;
+      cen_t.model_control_traffic = true;
+      points.push_back({cen_t, wl, tag + "/central+traffic", group});
+
+      SimConfig dis = c;
+      dis.cc = CcMode::Distributed;
+      points.push_back({dis, wl, tag + "/distributed", group});
+      ++group;
+    }
+  }
+  const std::vector<SimResult> results = sweep.runner().run(points);
 
   CsvWriter csv(std::cout);
   csv.comment("Section 6.6: central vs distributed coordination on congested workloads.");
@@ -25,24 +55,14 @@ int run(int argc, char** argv) {
               "central_with_control_traffic_gain_pct", "distributed_gain_pct"});
 
   GainStats central, central_traffic, distributed;
-  for (const std::string& cat : {std::string("H"), std::string("HM")}) {
+  std::size_t k = 0;
+  for (const std::string& cat : cats) {
     for (int s = 0; s < seeds; ++s) {
-      Rng rng(55 + 13 * s);
-      const auto wl = make_category_workload(cat, 16, rng);
-      SimConfig c = small_noc_config(measure, s + 1);
-      const SimResult base = run_workload(c, wl);
-
-      SimConfig cen = c;
-      cen.cc = CcMode::Central;
-      const SimResult r_cen = run_workload(cen, wl);
-
-      SimConfig cen_t = cen;
-      cen_t.model_control_traffic = true;
-      const SimResult r_cen_t = run_workload(cen_t, wl);
-
-      SimConfig dis = c;
-      dis.cc = CcMode::Distributed;
-      const SimResult r_dis = run_workload(dis, wl);
+      const SimResult& base = results[k];
+      const SimResult& r_cen = results[k + 1];
+      const SimResult& r_cen_t = results[k + 2];
+      const SimResult& r_dis = results[k + 3];
+      k += 4;
 
       const auto gain = [&](const SimResult& r) {
         return 100.0 * (r.system_throughput() / base.system_throughput() - 1.0);
@@ -56,6 +76,7 @@ int run(int argc, char** argv) {
   csv.comment("averages: central " + std::to_string(central.avg()) + "%, central+traffic " +
               std::to_string(central_traffic.avg()) + "%, distributed " +
               std::to_string(distributed.avg()) + "%");
+  sweep.flush();
   return 0;
 }
 

@@ -17,14 +17,10 @@ int run(int argc, char** argv) {
   Flags flags(argc, argv);
   const auto measure = static_cast<Cycle>(
       flags.get_int("cycles", 200'000, "measured cycles per application"));
+  SweepContext sweep(flags);
   if (flags.finish()) return 0;
 
-  CsvWriter csv(std::cout);
-  csv.comment("Table 1: per-application IPF (mean over the run, variance across epochs).");
-  csv.comment("Published values from the paper for comparison; class H <2, M 2-100, L >100.");
-  csv.header({"app", "class", "ipf_published", "ipf_measured", "measured_over_published",
-              "ipf_epoch_variance", "var_published", "l1_miss_rate", "ipc_alone"});
-
+  std::vector<SweepPoint> points;
   for (const AppProfile& profile : app_catalog()) {
     SimConfig c = small_noc_config(measure, 3);
     c.record_epoch_ipf = true;
@@ -32,8 +28,19 @@ int run(int argc, char** argv) {
     wl.category = profile.name;
     wl.app_names.assign(16, "");
     wl.app_names[5] = profile.name;
-    const SimResult r = run_workload(c, wl);
-    const NodeResult& node = r.nodes[5];
+    points.push_back({c, wl, profile.name, {}});
+  }
+  const std::vector<SimResult> results = sweep.runner().run(points);
+
+  CsvWriter csv(std::cout);
+  csv.comment("Table 1: per-application IPF (mean over the run, variance across epochs).");
+  csv.comment("Published values from the paper for comparison; class H <2, M 2-100, L >100.");
+  csv.header({"app", "class", "ipf_published", "ipf_measured", "measured_over_published",
+              "ipf_epoch_variance", "var_published", "l1_miss_rate", "ipc_alone"});
+
+  std::size_t i = 0;
+  for (const AppProfile& profile : app_catalog()) {
+    const NodeResult& node = results[i++].nodes[5];
 
     StatAccumulator epochs;
     for (const double ipf : node.epoch_ipf) {
@@ -44,6 +51,7 @@ int run(int argc, char** argv) {
             measured / profile.table_ipf, epochs.variance(), profile.table_ipf_var,
             node.l1_miss_rate, node.ipc);
   }
+  sweep.flush();
   return 0;
 }
 

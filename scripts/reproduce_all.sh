@@ -4,12 +4,15 @@
 #   scripts/reproduce_all.sh [output-dir]
 #
 # Writes one CSV per bench binary into the output directory (default:
-# ./results). Figures take minutes at the scaled-down defaults; pass
+# ./results), plus per-run record files (<name>.runs.csv/.json) from the
+# sweep runner. Figures take minutes at the scaled-down defaults; pass
 # flags to individual binaries (see --help on each) for paper-scale runs.
+# JOBS controls sweep parallelism (default: all cores).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 out="${1:-results}"
+jobs="${JOBS:-0}"   # 0 = hardware concurrency
 mkdir -p "$out"
 
 cmake -B build -G Ninja
@@ -20,7 +23,13 @@ for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")
   echo "== $name =="
-  "$b" | tee "$out/$name.csv" | grep '^#' | head -4
+  if [ "$name" = micro_router ]; then
+    # google-benchmark harness: serial by design, no sweep flags.
+    "$b" | tee "$out/$name.csv" | grep '^#' | head -4
+  else
+    "$b" --jobs "$jobs" --run-log "$out/$name" \
+      | tee "$out/$name.csv" | grep '^#' | head -4
+  fi
 done
 
 echo "All outputs in $out/"

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
 namespace nocsim {
 
@@ -82,6 +83,19 @@ bool Flags::finish() {
     (void)value;
   }
   return false;
+}
+
+std::string Flags::program_name() const {
+  const auto slash = program_.find_last_of('/');
+  return slash == std::string::npos ? program_ : program_.substr(slash + 1);
+}
+
+int get_jobs(Flags& flags) {
+  const auto n = flags.get_int(
+      "jobs", 0, "worker threads for parallel sweep execution (0 = all hardware threads)");
+  if (n > 0) return static_cast<int>(n);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 1;
 }
 
 }  // namespace nocsim

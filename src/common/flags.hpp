@@ -28,6 +28,9 @@ class Flags {
   /// unknown flags. Returns true if the program should exit (help printed).
   bool finish();
 
+  /// Basename of argv[0] — the conventional stem for per-run record files.
+  [[nodiscard]] std::string program_name() const;
+
  private:
   std::optional<std::string> raw(const std::string& name);
   void note(const std::string& name, const std::string& def, const std::string& desc);
@@ -38,5 +41,10 @@ class Flags {
   std::vector<std::string> help_lines_;
   bool help_requested_ = false;
 };
+
+/// The standard `--jobs` flag shared by every sweep-driving binary: worker
+/// threads for parallel sweep execution. 0 (the default) means "all
+/// hardware threads"; the returned value is always >= 1.
+int get_jobs(Flags& flags);
 
 }  // namespace nocsim

@@ -39,6 +39,12 @@ class InjectionThrottler {
 
   void set_rate(double rate) {
     NOCSIM_CHECK(rate >= 0.0 && rate <= 1.0);
+    // Restart the wrap only on an actual rate change: the new rate's block
+    // run must not inherit the old wrap's phase (a mid-wrap carry-over can
+    // block far more or fewer than rate*kMaxCount of the next wrap's
+    // attempts). Same-rate calls — the controller re-applies rates every
+    // epoch — leave the counter free-running, as the hardware would.
+    if (rate != rate_) count_ = 0;
     rate_ = rate;
     threshold_ = static_cast<std::uint32_t>(rate * kMaxCount);
   }
@@ -53,7 +59,10 @@ class InjectionThrottler {
     return count_ >= threshold_;
   }
 
-  [[nodiscard]] bool active() const { return threshold_ > 0; }
+  /// Whether any throttling is configured. Keyed on the rate, not the
+  /// counter threshold: rates below 1/kMaxCount floor to threshold_ == 0,
+  /// yet the Randomized gate still blocks at exactly that rate.
+  [[nodiscard]] bool active() const { return rate_ > 0.0; }
   [[nodiscard]] Gate gate() const { return gate_; }
 
  private:

@@ -9,6 +9,8 @@
 
 namespace nocsim {
 
+class SweepRunner;
+
 /// Build and run one simulation.
 SimResult run_workload(const SimConfig& config, const WorkloadSpec& workload);
 
@@ -23,6 +25,12 @@ class AloneIpcCache {
 
   /// IPC_alone for each node of `workload` (0.0 for idle nodes).
   std::vector<double> get(const WorkloadSpec& workload);
+
+  /// Run the alone-runs for every not-yet-cached application appearing in
+  /// `workloads` through `runner` (one sweep point per application, same
+  /// construction as the serial path in get()). After priming, get() is
+  /// pure cache lookup and a whole workload sweep can run in parallel.
+  void prime(const std::vector<WorkloadSpec>& workloads, SweepRunner& runner);
 
  private:
   SimConfig base_;

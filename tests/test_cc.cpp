@@ -56,6 +56,73 @@ TEST(Throttler, RandomizedGateBlocksExpectedFraction) {
   EXPECT_NEAR(static_cast<double>(blocked) / n, 0.6, 0.01);
 }
 
+TEST(Throttler, TinyRateReportsActiveOnBothGates) {
+  // Rates below 1/128 floor the deterministic threshold to zero, but the
+  // gate is still configured (and the randomized gate still blocks); a
+  // threshold-based active() wrongly reported such throttlers as off.
+  for (const auto gate :
+       {InjectionThrottler::Gate::Deterministic, InjectionThrottler::Gate::Randomized}) {
+    InjectionThrottler t(gate);
+    EXPECT_FALSE(t.active());
+    t.set_rate(0.005);
+    EXPECT_TRUE(t.active()) << "gate " << static_cast<int>(gate);
+    t.set_rate(0.0);
+    EXPECT_FALSE(t.active());
+  }
+}
+
+TEST(Throttler, RandomizedGateBlocksAtTinyRate) {
+  InjectionThrottler t(InjectionThrottler::Gate::Randomized, 7);
+  t.set_rate(0.005);
+  int blocked = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) blocked += !t.allow();
+  EXPECT_GT(blocked, 0);
+  EXPECT_NEAR(static_cast<double>(blocked) / n, 0.005, 0.002);
+}
+
+TEST(Throttler, DeterministicGateRateChangeResetsWrap) {
+  InjectionThrottler t(InjectionThrottler::Gate::Deterministic);
+  t.set_rate(0.5);
+  // Advance into the allowed part of the wrap (counts 64..96 allow).
+  for (int i = 0; i < 96; ++i) t.allow();
+  // A mid-wrap rate change must not inherit the old phase: the next full
+  // wrap blocks exactly floor(rate*128) attempts for the *new* rate.
+  t.set_rate(0.25);
+  int blocked = 0;
+  for (int i = 0; i < 128; ++i) blocked += !t.allow();
+  EXPECT_EQ(blocked, 32);
+}
+
+TEST(Throttler, DeterministicGateRateChangesAcrossEpochs) {
+  // Emulate the controller re-staging rates at epoch boundaries, with the
+  // epoch deliberately not a multiple of the wrap so each change lands
+  // mid-wrap. After every change the next whole wrap must block exactly
+  // floor(rate*128) attempts.
+  InjectionThrottler t(InjectionThrottler::Gate::Deterministic);
+  const double rates[] = {0.5, 0.25, 0.75, 0.1, 0.9};
+  for (const double rate : rates) {
+    for (int i = 0; i < 57; ++i) t.allow();  // drift mid-wrap
+    t.set_rate(rate);
+    int blocked = 0;
+    for (int i = 0; i < 128; ++i) blocked += !t.allow();
+    EXPECT_EQ(blocked, static_cast<int>(rate * 128)) << "rate " << rate;
+  }
+}
+
+TEST(Throttler, DeterministicGateSameRateReapplyKeepsFreeRunningCounter) {
+  // The controller re-applies unchanged rates every epoch; that must not
+  // reset the wrap (the hardware counter is free-running).
+  InjectionThrottler a(InjectionThrottler::Gate::Deterministic);
+  InjectionThrottler b(InjectionThrottler::Gate::Deterministic);
+  a.set_rate(0.5);
+  b.set_rate(0.5);
+  for (int i = 0; i < 1000; ++i) {
+    if (i % 37 == 0) a.set_rate(0.5);  // redundant re-apply
+    ASSERT_EQ(a.allow(), b.allow()) << "attempt " << i;
+  }
+}
+
 TEST(Throttler, RandomizedGateDeterministicPerSeed) {
   InjectionThrottler a(InjectionThrottler::Gate::Randomized, 5);
   InjectionThrottler b(InjectionThrottler::Gate::Randomized, 5);

@@ -1,0 +1,75 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace nocsim {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int i = 0; i < 200; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, SizeMatchesConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilTasksFinish) {
+  std::atomic<int> done{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++done;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing submitted; must not hang
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);  // single worker guarantees a backlog
+    for (int i = 0; i < 50; ++i) pool.submit([&count] { ++count; });
+  }  // destructor must run the backlog before joining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, TasksWriteToPreallocatedSlotsWithoutRaces) {
+  const std::size_t n = 500;
+  std::vector<int> slots(n, 0);
+  ThreadPool pool(8);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&slots, i] { slots[i] = static_cast<int>(i) + 1; });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(slots[i], static_cast<int>(i) + 1);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 40; ++i) pool.submit([&count] { ++count; });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 40 * (wave + 1));
+  }
+}
+
+}  // namespace
+}  // namespace nocsim
