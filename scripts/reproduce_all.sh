@@ -20,7 +20,7 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 
 for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
+  if [ ! -f "$b" ] || [ ! -x "$b" ]; then continue; fi
   name=$(basename "$b")
   echo "== $name =="
   if [ "$name" = micro_router ]; then

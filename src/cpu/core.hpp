@@ -12,8 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.hpp"
@@ -115,7 +115,10 @@ class Core {
   int occupancy_ = 0;
 
   /// Outstanding misses: block -> window slots waiting on it (coalescing).
-  std::unordered_map<Addr, std::vector<std::uint32_t>> mshrs_;
+  /// Ordered by block address so traversal order is deterministic; the MSHR
+  /// bound keeps this tiny (<= max_outstanding_misses entries), so std::map
+  /// costs nothing measurable over a hash table here.
+  std::map<Addr, std::vector<std::uint32_t>> mshrs_;
 
   /// In-order front end: an instruction fetched but not yet issued (e.g. a
   /// memory op stalled on the memory port) stays staged across cycles.

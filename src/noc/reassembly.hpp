@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 
 #include "common/check.hpp"
 #include "noc/flit.hpp"
@@ -57,12 +57,7 @@ class ReassemblyTable {
   struct Key {
     NodeId src;
     PacketSeq seq;
-    friend bool operator==(const Key&, const Key&) = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const {
-      return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(k.src) << 48) ^ k.seq);
-    }
+    friend auto operator<=>(const Key&, const Key&) = default;
   };
   struct Entry {
     Flit header;
@@ -70,7 +65,10 @@ class ReassemblyTable {
     bool congested = false;
   };
 
-  std::unordered_map<Key, Entry, KeyHash> pending_;
+  // Ordered map: traversal order is (src, seq), never hash/allocation
+  // dependent, so any future iteration over pending packets (draining,
+  // timeout scans, debugging dumps) stays deterministic by construction.
+  std::map<Key, Entry> pending_;
   std::size_t high_water_ = 0;
   PacketSink sink_;
 };

@@ -234,9 +234,11 @@ std::vector<SimResult> SweepRunner::run(const std::vector<SweepPoint>& points) {
       if (options_.derive_seeds) {
         config.seed = derive_seed(config.seed, point.seed_stream.value_or(i));
       }
+      // nocsim-lint: allow(wallclock): host wall time feeds the run record only, never sim state.
       const auto start = std::chrono::steady_clock::now();
       Simulator sim(config, point.workload);
       results[i] = sim.run();
+      // nocsim-lint: allow(wallclock): wall_seconds is a reporting field, not sim state.
       const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
       if (options_.log) {
         options_.log->add(
@@ -254,8 +256,10 @@ void SweepRunner::run_indexed(std::size_t n, const std::function<RunRecord(std::
   ThreadPool pool(jobs);
   for (std::size_t i = 0; i < n; ++i) {
     pool.submit([this, i, &fn] {
+      // nocsim-lint: allow(wallclock): host wall time feeds the run record only, never sim state.
       const auto start = std::chrono::steady_clock::now();
       RunRecord rec = fn(i);
+      // nocsim-lint: allow(wallclock): wall_seconds is a reporting field, not sim state.
       const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
       rec.index = i;
       rec.wall_seconds = wall.count();

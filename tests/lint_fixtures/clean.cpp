@@ -1,0 +1,42 @@
+// Lint fixture: must produce ZERO findings, even under --sim-state — not
+// compiled. Exercises the patterns that look like hazards but are not:
+// ordered containers, checked static_casts, Rng-sourced randomness,
+// identifiers that merely contain banned substrings, and banned tokens in
+// comments/strings.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace nocsim_fixture {
+
+constexpr int kMaxNodes = 64;          // const globals are fine
+const char* const kName = "rand()";    // rand() in a string literal is fine
+
+struct Flit {
+  std::uint32_t id;
+  int priority;
+};
+
+// std::map iteration order is deterministic.
+inline int drain(std::map<int, int>& table) {
+  int sum = 0;
+  for (const auto& kv : table) sum += kv.second;
+  return sum;
+}
+
+// Comparator keyed on a stable field, not the pointer value.
+inline void order_queue(std::vector<Flit*>& queue) {
+  std::sort(queue.begin(), queue.end(),
+            [](const Flit* a, const Flit* b) { return a->id < b->id; });
+}
+
+// `retire_time(...)` must not match the banned `time(` token.
+inline std::uint64_t retire_time(std::uint64_t cycle) { return cycle + 1; }
+inline std::uint64_t schedule(std::uint64_t cycle) { return retire_time(cycle); }
+
+// static_cast narrowing is the sanctioned spelling (with -Wconversion and
+// NOCSIM_CHECK guards at the call sites that need them).
+inline std::uint16_t to_seq(std::uint64_t v) { return static_cast<std::uint16_t>(v & 0xffff); }
+
+}  // namespace nocsim_fixture

@@ -1,0 +1,31 @@
+// Lint fixture: every hazard carries a well-formed allow directive, so the
+// file must produce ZERO findings even under --sim-state — not compiled.
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+
+namespace nocsim_fixture {
+
+class Cache {
+ private:
+  // nocsim-lint: allow(unordered-member): membership-only structure; never iterated.
+  std::unordered_map<std::uint64_t, int> lines_;
+
+ public:
+  bool contains(std::uint64_t key) const { return lines_.count(key) != 0; }
+
+  int checksum() const {
+    int sum = 0;
+    // nocsim-lint: allow(unordered-iter): sum is commutative; order cannot leak.
+    for (const auto& kv : lines_) sum += kv.second;
+    return sum;
+  }
+};
+
+inline double wall_now() {
+  // nocsim-lint: allow(wallclock): progress reporting only, never sim state.
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace nocsim_fixture

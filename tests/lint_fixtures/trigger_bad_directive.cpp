@@ -1,0 +1,8 @@
+// Lint fixture: must trigger [bad-directive] (missing reason, unknown rule) — not compiled.
+#include <cstdlib>
+
+// nocsim-lint: allow(raw-entropy):
+int missing_reason() { return rand(); }
+
+// nocsim-lint: allow(no-such-rule): reasons do not rescue unknown rules
+int unknown_rule() { return 0; }

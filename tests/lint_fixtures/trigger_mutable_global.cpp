@@ -1,0 +1,11 @@
+// Lint fixture: must trigger [mutable-global] under --sim-state — not compiled.
+#include <cstdint>
+
+namespace nocsim {
+
+std::uint64_t g_total_flits = 0;
+static int g_epoch_counter;
+
+void bump() { ++g_total_flits; }
+
+}  // namespace nocsim

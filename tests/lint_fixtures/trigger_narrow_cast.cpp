@@ -1,0 +1,6 @@
+// Lint fixture: must trigger [narrow-cast] under --sim-state — not compiled.
+#include <cstdint>
+
+std::uint16_t fold_sequence(std::uint64_t seq) {
+  return (std::uint16_t)seq;
+}

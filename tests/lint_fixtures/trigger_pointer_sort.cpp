@@ -1,0 +1,12 @@
+// Lint fixture: must trigger [pointer-sort] — not compiled.
+#include <algorithm>
+#include <vector>
+
+struct Packet {
+  int id;
+};
+
+void order_by_address(std::vector<Packet*>& queue) {
+  std::sort(queue.begin(), queue.end(),
+            [](const Packet* a, const Packet* b) { return a < b; });
+}

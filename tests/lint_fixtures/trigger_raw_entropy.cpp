@@ -1,0 +1,15 @@
+// Lint fixture: must trigger [raw-entropy] (three distinct sources) — not compiled.
+#include <cstdlib>
+#include <random>
+
+int pick_destination(int nodes) { return rand() % nodes; }
+
+unsigned hardware_seed() {
+  std::random_device dev;
+  return dev();
+}
+
+int shuffled(int n) {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen() % static_cast<unsigned>(n));
+}

@@ -1,0 +1,17 @@
+// Lint fixture: must trigger [unordered-iter] (twice) — not compiled.
+#include <unordered_map>
+#include <unordered_set>
+
+int range_for_walk() {
+  std::unordered_map<int, int> table;
+  int sum = 0;
+  for (const auto& kv : table) sum += kv.second;
+  return sum;
+}
+
+int iterator_walk() {
+  std::unordered_set<long> members;
+  int n = 0;
+  for (auto it = members.begin(); it != members.end(); ++it) ++n;
+  return n;
+}

@@ -1,0 +1,11 @@
+// Lint fixture: must trigger [unordered-member] under --sim-state — not compiled.
+#include <cstdint>
+#include <unordered_map>
+
+class ReorderBuffer {
+ public:
+  void track(std::uint64_t key) { pending_[key] = 0; }
+
+ private:
+  std::unordered_map<std::uint64_t, int> pending_;
+};

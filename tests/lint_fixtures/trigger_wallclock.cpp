@@ -1,0 +1,10 @@
+// Lint fixture: must trigger [wallclock] (libc and chrono reads) — not compiled.
+#include <chrono>
+#include <ctime>
+
+long epoch_seed() { return time(nullptr); }
+
+double elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::high_resolution_clock::now() - t0).count();
+}

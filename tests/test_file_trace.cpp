@@ -29,7 +29,9 @@ TEST(FileTrace, ParsesAllRecordForms) {
     for (int i = 0; i < 8; ++i) {
       const Insn insn = t.next();
       ASSERT_EQ(insn.is_mem, mem_expect[i]) << "loop " << loop << " pos " << i;
-      if (insn.is_mem) ASSERT_EQ(insn.addr, addr_expect[i]);
+      if (insn.is_mem) {
+        ASSERT_EQ(insn.addr, addr_expect[i]);
+      }
     }
   }
 }
@@ -67,7 +69,9 @@ TEST(FileTrace, EncodeDecodeRoundTrip) {
   for (std::size_t i = 0; i < stream.size(); ++i) {
     const Insn got = t.next();
     ASSERT_EQ(got.is_mem, stream[i].is_mem) << "at " << i;
-    if (got.is_mem) ASSERT_EQ(got.addr, stream[i].addr) << "at " << i;
+    if (got.is_mem) {
+      ASSERT_EQ(got.addr, stream[i].addr) << "at " << i;
+    }
   }
   // And it loops back to the start.
   EXPECT_EQ(t.next().is_mem, stream[0].is_mem);

@@ -1,0 +1,136 @@
+// Tests for tools/nocsim_lint: each fixture under tests/lint_fixtures/ must
+// trigger exactly its rule, the clean/suppressed fixtures must pass, and the
+// allow(...) directive grammar must be enforced. The linter is part of the
+// tier-1 gate, so its own behaviour is pinned here the same way the
+// simulator's is.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+#ifndef NOCSIM_LINT_BIN
+#error "NOCSIM_LINT_BIN must be defined by the build"
+#endif
+#ifndef NOCSIM_LINT_FIXTURE_DIR
+#error "NOCSIM_LINT_FIXTURE_DIR must be defined by the build"
+#endif
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs the lint binary on one fixture (as sim-state code) and captures
+/// stdout+stderr and the exit status.
+LintRun run_lint(const std::string& fixture, bool sim_state = true) {
+  const std::string cmd = std::string(NOCSIM_LINT_BIN) + (sim_state ? " --sim-state " : " ") +
+                          NOCSIM_LINT_FIXTURE_DIR "/" + fixture + " 2>&1";
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return run;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) run.output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+int count_rule(const std::string& output, const std::string& rule) {
+  const std::string tag = "[" + rule + "]";
+  int count = 0;
+  for (std::size_t p = output.find(tag); p != std::string::npos; p = output.find(tag, p + 1))
+    ++count;
+  return count;
+}
+
+TEST(Lint, RangeForAndIteratorOverUnorderedContainersTrigger) {
+  const LintRun run = run_lint("trigger_unordered_iter.cpp", /*sim_state=*/false);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run.output, "unordered-iter"), 2) << run.output;
+}
+
+TEST(Lint, UnorderedMemberInSimStateTriggers) {
+  const LintRun run = run_lint("trigger_unordered_member.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run.output, "unordered-member"), 1) << run.output;
+}
+
+TEST(Lint, UnorderedMemberOutsideSimStateIsAllowed) {
+  // The declaration rule is scoped to sim-state code; elsewhere only
+  // *iteration* is a hazard.
+  const LintRun run = run_lint("trigger_unordered_member.cpp", /*sim_state=*/false);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(Lint, RawEntropySourcesTrigger) {
+  const LintRun run = run_lint("trigger_raw_entropy.cpp", /*sim_state=*/false);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run.output, "raw-entropy"), 3) << run.output;
+}
+
+TEST(Lint, WallClockReadsTrigger) {
+  const LintRun run = run_lint("trigger_wallclock.cpp", /*sim_state=*/false);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // time(nullptr) + two chrono ::now() reads.
+  EXPECT_EQ(count_rule(run.output, "wallclock"), 3) << run.output;
+}
+
+TEST(Lint, PointerKeyedComparatorTriggers) {
+  const LintRun run = run_lint("trigger_pointer_sort.cpp", /*sim_state=*/false);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run.output, "pointer-sort"), 1) << run.output;
+}
+
+TEST(Lint, CStyleNarrowingCastInSimStateTriggers) {
+  const LintRun run = run_lint("trigger_narrow_cast.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run.output, "narrow-cast"), 1) << run.output;
+}
+
+TEST(Lint, MutableNamespaceScopeStateTriggers) {
+  const LintRun run = run_lint("trigger_mutable_global.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run.output, "mutable-global"), 2) << run.output;
+}
+
+TEST(Lint, MalformedDirectivesTrigger) {
+  const LintRun run = run_lint("trigger_bad_directive.cpp", /*sim_state=*/false);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Missing reason + unknown rule name. The allow(raw-entropy) with no
+  // reason must NOT suppress the rand() finding it sits above.
+  EXPECT_EQ(count_rule(run.output, "bad-directive"), 2) << run.output;
+  EXPECT_EQ(count_rule(run.output, "raw-entropy"), 1) << run.output;
+}
+
+TEST(Lint, CleanFixturePasses) {
+  const LintRun run = run_lint("clean.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("0 finding(s)"), std::string::npos) << run.output;
+}
+
+TEST(Lint, WellFormedAllowDirectivesSuppress) {
+  const LintRun run = run_lint("suppressed.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("0 finding(s)"), std::string::npos) << run.output;
+}
+
+TEST(Lint, WholeTreeIsClean) {
+  // The same invariant the lint.nocsim ctest enforces, kept here too so a
+  // plain `test_lint` binary run catches tree regressions.
+  const std::string cmd = std::string(NOCSIM_LINT_BIN) + " " + NOCSIM_LINT_SOURCE_DIR "/src " +
+                          NOCSIM_LINT_SOURCE_DIR "/bench 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  EXPECT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 0) << output;
+}
+
+}  // namespace

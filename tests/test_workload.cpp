@@ -89,7 +89,9 @@ TEST(SynthTrace, AddressSpacesDisjointAcrossStreams) {
   }
   for (int i = 0; i < 30000; ++i) {
     const Insn insn = b.next();
-    if (insn.is_mem) ASSERT_FALSE(blocks_a.count(insn.addr / 32));
+    if (insn.is_mem) {
+      ASSERT_FALSE(blocks_a.count(insn.addr / 32));
+    }
   }
 }
 

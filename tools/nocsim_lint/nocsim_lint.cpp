@@ -1,0 +1,751 @@
+// nocsim-lint — repo-native determinism & correctness linter.
+//
+// The simulator's headline guarantee is that metrics are a pure function of
+// (config, seed): bit-identical across --jobs values, machines, and reruns.
+// That guarantee rests on coding discipline no compiler enforces — never
+// iterate an unordered container in a metrics-visible path, never draw
+// entropy outside the seeded Rng, never key a sort on pointer values. This
+// tool machine-checks those invariants at the token level (no libclang
+// dependency) and runs as a tier-1 ctest, so a violation fails the build
+// instead of waiting for a reviewer to notice a figure stopped reproducing.
+//
+// Rules (see --list-rules):
+//   unordered-iter    iteration over an unordered container (order is
+//                     hash/allocation dependent and may leak into metrics)
+//   unordered-member  unordered container declared in sim-state code
+//                     (src/noc, src/sim, src/core, src/cpu)
+//   raw-entropy       rand()/srand()/std::random_device/std::mt19937/... —
+//                     all randomness must flow through src/common/rng.hpp
+//   wallclock         time()/clock()/std::chrono::*_clock::now() — wall time
+//                     must never influence simulated behaviour
+//   pointer-sort      sort/min_element/... comparator keyed on raw pointer
+//                     values (allocation-order dependent)
+//   narrow-cast       C-style cast to a narrow integer type in sim-state
+//                     code without an adjacent NOCSIM_CHECK bounds guard
+//   mutable-global    mutable namespace-scope variable in sim-state code
+//                     (cross-run state that survives Simulator construction)
+//   bad-directive     malformed nocsim-lint control comment
+//
+// Suppression: a finding is silenced only by an inline directive
+//     // nocsim-lint: allow(<rule>[, <rule>...]): <reason>
+// on the same line or the line directly above. The reason is mandatory;
+// an empty reason or unknown rule name is itself a finding.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> rules = {
+      "unordered-iter", "unordered-member", "raw-entropy",    "wallclock",
+      "pointer-sort",   "narrow-cast",      "mutable-global", "bad-directive",
+  };
+  return rules;
+}
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Allow {
+  std::set<std::string> rules;
+  std::string reason;
+};
+
+// Per-file view after lexical preprocessing: `code` mirrors the original
+// byte-for-byte except comments, string/char literals, and preprocessor
+// directives are blanked to spaces (so offsets and line numbers survive);
+// `comment_text` holds each line's comment payload for directive parsing.
+struct Stripped {
+  std::string code;                       // '\n'-joined blanked source
+  std::vector<std::string> comment_text;  // per line, 0-based
+  std::vector<std::size_t> line_offset;   // offset of each line start in code
+};
+
+bool is_ident(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+Stripped strip(const std::string& src) {
+  Stripped out;
+  out.code.reserve(src.size());
+  out.comment_text.emplace_back();
+  out.line_offset.push_back(0);
+
+  enum class St { Code, LineComment, BlockComment, String, Char, RawString, Preproc };
+  St st = St::Code;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  bool preproc_continues = false;
+
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == St::LineComment) st = St::Code;
+      if (st == St::Preproc) {
+        if (!preproc_continues) st = St::Code;
+        preproc_continues = false;
+      }
+      out.code.push_back('\n');
+      out.comment_text.emplace_back();
+      out.line_offset.push_back(out.code.size());
+      continue;
+    }
+    switch (st) {
+      case St::Code:
+        if (c == '/' && next == '/') {
+          st = St::LineComment;
+          out.code.append("  ");
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::BlockComment;
+          out.code.append("  ");
+          ++i;
+        } else if (c == '"' && i > 0 && src[i - 1] == 'R') {
+          // Raw string literal R"delim( — capture the delimiter.
+          raw_delim.clear();
+          std::size_t j = i + 1;
+          while (j < src.size() && src[j] != '(') raw_delim.push_back(src[j++]);
+          st = St::RawString;
+          out.code.push_back(' ');
+        } else if (c == '"') {
+          st = St::String;
+          out.code.push_back(' ');
+        } else if (c == '\'' && !(i > 0 && is_ident(src[i - 1]))) {
+          // Skip digit separators (1'000'000): only enter char-literal state
+          // when the quote does not follow an identifier character.
+          st = St::Char;
+          out.code.push_back(' ');
+        } else if (c == '#') {
+          st = St::Preproc;
+          out.code.push_back(' ');
+        } else {
+          out.code.push_back(c);
+        }
+        break;
+      case St::LineComment:
+        out.comment_text.back().push_back(c);
+        out.code.push_back(' ');
+        break;
+      case St::BlockComment:
+        if (c == '*' && next == '/') {
+          st = St::Code;
+          out.code.append("  ");
+          ++i;
+        } else {
+          out.comment_text.back().push_back(c);
+          out.code.push_back(' ');
+        }
+        break;
+      case St::String:
+        if (c == '\\') {
+          out.code.append("  ");
+          ++i;
+          if (next == '\n') {
+            out.code.back() = '\n';
+            out.comment_text.emplace_back();
+            out.line_offset.push_back(out.code.size());
+          }
+        } else {
+          if (c == '"') st = St::Code;
+          out.code.push_back(' ');
+        }
+        break;
+      case St::Char:
+        if (c == '\\') {
+          out.code.append("  ");
+          ++i;
+        } else {
+          if (c == '\'') st = St::Code;
+          out.code.push_back(' ');
+        }
+        break;
+      case St::RawString: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (src.compare(i, closer.size(), closer) == 0) {
+          for (std::size_t k = 0; k < closer.size(); ++k) out.code.push_back(' ');
+          i += closer.size() - 1;
+          st = St::Code;
+        } else {
+          out.code.push_back(' ');
+        }
+        break;
+      }
+      case St::Preproc:
+        preproc_continues = (c == '\\' && next == '\n');
+        out.code.push_back(' ');
+        break;
+    }
+  }
+  return out;
+}
+
+int line_of(const Stripped& s, std::size_t offset) {
+  auto it = std::upper_bound(s.line_offset.begin(), s.line_offset.end(), offset);
+  return static_cast<int>(it - s.line_offset.begin());  // 1-based
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Parse "nocsim-lint: allow(rule, rule): reason" directives out of comment
+// text. Returns the per-line allow map (1-based line -> Allow); malformed
+// directives are reported as bad-directive findings.
+std::map<int, Allow> parse_directives(const Stripped& s, const std::string& file,
+                                      std::vector<Finding>& findings) {
+  std::map<int, Allow> allows;
+  for (std::size_t ln = 0; ln < s.comment_text.size(); ++ln) {
+    const std::string& text = s.comment_text[ln];
+    const std::size_t tag = text.find("nocsim-lint:");
+    if (tag == std::string::npos) continue;
+    const int line = static_cast<int>(ln) + 1;
+    const std::size_t open = text.find("allow(", tag);
+    const std::size_t close = open == std::string::npos ? std::string::npos : text.find(')', open);
+    if (open == std::string::npos || close == std::string::npos) {
+      findings.push_back({file, line, "bad-directive",
+                          "expected 'nocsim-lint: allow(<rule>[, <rule>...]): <reason>'"});
+      continue;
+    }
+    Allow allow;
+    std::stringstream list(text.substr(open + 6, close - open - 6));
+    std::string rule;
+    bool ok = true;
+    while (std::getline(list, rule, ',')) {
+      rule = trim(rule);
+      if (rule.empty()) continue;
+      if (known_rules().count(rule) == 0) {
+        findings.push_back({file, line, "bad-directive", "unknown rule '" + rule + "'"});
+        ok = false;
+      }
+      allow.rules.insert(rule);
+    }
+    const std::size_t colon = text.find(':', close);
+    allow.reason = colon == std::string::npos ? "" : trim(text.substr(colon + 1));
+    if (allow.reason.empty()) {
+      findings.push_back(
+          {file, line, "bad-directive",
+           "suppression needs a reason: 'allow(<rule>): <why order/entropy cannot leak>'"});
+      ok = false;
+    }
+    if (ok && !allow.rules.empty()) allows[line] = allow;
+  }
+  return allows;
+}
+
+bool word_at(const std::string& code, std::size_t pos, const std::string& word) {
+  if (code.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && is_ident(code[pos - 1])) return false;
+  const std::size_t end = pos + word.size();
+  return end >= code.size() || !is_ident(code[end]);
+}
+
+std::size_t skip_ws(const std::string& code, std::size_t pos) {
+  while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos])) != 0) ++pos;
+  return pos;
+}
+
+// Matches `<...>` starting at `pos` (which must point at '<'); returns the
+// offset just past the matching '>', or npos if unbalanced.
+std::size_t match_template_args(const std::string& code, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < code.size(); ++i) {
+    if (code[i] == '<') ++depth;
+    if (code[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+    if (code[i] == ';') return std::string::npos;  // statement ended, not a template
+  }
+  return std::string::npos;
+}
+
+struct RuleContext {
+  const std::string& file;
+  const Stripped& s;
+  bool sim_state = false;  // src/noc, src/sim, src/core, src/cpu (or --sim-state)
+  std::vector<Finding>& findings;
+
+  void add(std::size_t offset, const std::string& rule, const std::string& message) const {
+    findings.push_back({file, line_of(s, offset), rule, message});
+  }
+};
+
+// --- unordered-member + unordered-iter ------------------------------------
+void check_unordered(const RuleContext& ctx) {
+  const std::string& code = ctx.s.code;
+  std::vector<std::string> names;  // variables/aliases with unordered type
+  for (std::size_t pos = code.find("unordered_"); pos != std::string::npos;
+       pos = code.find("unordered_", pos + 1)) {
+    if (pos > 0 && is_ident(code[pos - 1])) continue;
+    static const char* kinds[] = {"unordered_multimap", "unordered_multiset", "unordered_map",
+                                  "unordered_set"};
+    std::size_t after = std::string::npos;
+    for (const char* k : kinds) {
+      if (word_at(code, pos, k)) {
+        after = pos + std::string(k).size();
+        break;
+      }
+    }
+    if (after == std::string::npos) continue;
+    std::size_t lt = skip_ws(code, after);
+    if (lt >= code.size() || code[lt] != '<') continue;  // e.g. bare mention, no decl
+    const std::size_t past = match_template_args(code, lt);
+    if (past == std::string::npos) continue;
+
+    if (ctx.sim_state) {
+      ctx.add(pos, "unordered-member",
+              "unordered container in sim state: iteration order is hash/allocation "
+              "dependent; use std::map / index-keyed storage, or prove order cannot "
+              "leak and suppress with allow(unordered-member)");
+    }
+
+    // Record the declared name (``unordered_map<...> name``) or the alias
+    // name (``using Name = std::unordered_map<...>``) for the iteration rule.
+    std::size_t name_begin = skip_ws(code, past);
+    while (name_begin < code.size() && (code[name_begin] == '&' || code[name_begin] == '*'))
+      name_begin = skip_ws(code, name_begin + 1);
+    std::size_t name_end = name_begin;
+    while (name_end < code.size() && is_ident(code[name_end])) ++name_end;
+    if (name_end > name_begin) {
+      names.push_back(code.substr(name_begin, name_end - name_begin));
+    } else {
+      // using Alias = std::unordered_map<...>;
+      const std::size_t stmt = code.rfind(';', pos);
+      const std::size_t from = stmt == std::string::npos ? 0 : stmt + 1;
+      const std::size_t using_kw = code.find("using", from);
+      const std::size_t eq = code.find('=', from);
+      if (using_kw != std::string::npos && eq != std::string::npos && using_kw < eq && eq < pos) {
+        std::size_t b = skip_ws(code, using_kw + 5);
+        std::size_t e = b;
+        while (e < code.size() && is_ident(code[e])) ++e;
+        if (e > b) names.push_back(code.substr(b, e - b));
+      }
+    }
+    pos = past - 1;
+  }
+
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  for (const std::string& name : names) {
+    for (std::size_t pos = code.find(name); pos != std::string::npos;
+         pos = code.find(name, pos + 1)) {
+      if (!word_at(code, pos, name)) continue;
+      const std::size_t after = skip_ws(code, pos + name.size());
+      // `name.begin()` / `.cbegin()` / `.rbegin()` — iterator walk.
+      if (after < code.size() && code[after] == '.') {
+        const std::size_t call = skip_ws(code, after + 1);
+        for (const char* it : {"begin", "cbegin", "rbegin", "crbegin"}) {
+          if (word_at(code, call, it)) {
+            ctx.add(pos, "unordered-iter",
+                    "iterating unordered container '" + name +
+                        "': visit order is nondeterministic; iterate a sorted copy "
+                        "of the keys or switch to std::map");
+          }
+        }
+      }
+      // `for (... : name)` — range-for.
+      const std::size_t stmt = code.find_last_of(";{}", pos);
+      const std::size_t from = stmt == std::string::npos ? 0 : stmt + 1;
+      const std::size_t colon = code.rfind(':', pos);
+      if (colon != std::string::npos && colon > from && colon + 1 < code.size() &&
+          code[colon + 1] != ':' && code[colon - 1] != ':' &&
+          skip_ws(code, colon + 1) == pos) {
+        const std::size_t for_kw = code.find("for", from);
+        if (for_kw != std::string::npos && for_kw < colon && word_at(code, for_kw, "for")) {
+          ctx.add(pos, "unordered-iter",
+                  "range-for over unordered container '" + name +
+                      "': visit order is nondeterministic; iterate a sorted copy of "
+                      "the keys or switch to std::map");
+        }
+      }
+    }
+  }
+}
+
+// --- raw-entropy + wallclock ----------------------------------------------
+void check_entropy_and_clocks(const RuleContext& ctx) {
+  const std::string& code = ctx.s.code;
+  struct Banned {
+    const char* token;
+    const char* rule;
+    bool needs_call;  // must be followed by '('
+    const char* message;
+  };
+  static const Banned banned[] = {
+      {"rand", "raw-entropy", true, "rand() bypasses the seeded Rng; draw from nocsim::Rng"},
+      {"srand", "raw-entropy", true, "srand() bypasses the seeded Rng; seed nocsim::Rng instead"},
+      {"random_device", "raw-entropy", false,
+       "std::random_device is nondeterministic; derive streams via Rng::fork"},
+      {"mt19937", "raw-entropy", false,
+       "std::mt19937 streams are not pinned cross-platform; use nocsim::Rng"},
+      {"mt19937_64", "raw-entropy", false,
+       "std::mt19937_64 streams are not pinned cross-platform; use nocsim::Rng"},
+      {"default_random_engine", "raw-entropy", false,
+       "std::default_random_engine is implementation-defined; use nocsim::Rng"},
+      {"drand48", "raw-entropy", true, "drand48() bypasses the seeded Rng; use nocsim::Rng"},
+      {"time", "wallclock", true,
+       "time() reads the wall clock; simulated behaviour must depend only on (config, seed)"},
+      {"clock", "wallclock", true,
+       "clock() reads the wall clock; simulated behaviour must depend only on (config, seed)"},
+  };
+  for (const Banned& b : banned) {
+    const std::string tok = b.token;
+    for (std::size_t pos = code.find(tok); pos != std::string::npos;
+         pos = code.find(tok, pos + 1)) {
+      if (!word_at(code, pos, tok)) continue;
+      // Member access (`x.time(...)`) is not the libc symbol.
+      if (pos > 0 && (code[pos - 1] == '.' || (pos > 1 && code[pos - 1] == '>' &&
+                                               code[pos - 2] == '-'))) {
+        continue;
+      }
+      if (b.needs_call) {
+        const std::size_t after = skip_ws(code, pos + tok.size());
+        if (after >= code.size() || code[after] != '(') continue;
+      }
+      ctx.add(pos, b.rule, b.message);
+    }
+  }
+  // std::chrono::{steady,system,high_resolution,...}_clock::now()
+  for (std::size_t pos = code.find("_clock"); pos != std::string::npos;
+       pos = code.find("_clock", pos + 6)) {
+    const std::size_t after = pos + 6;
+    if (after < code.size() && is_ident(code[after])) continue;
+    const std::size_t now = skip_ws(code, after);
+    if (code.compare(now, 5, "::now") == 0) {
+      ctx.add(pos, "wallclock",
+              "chrono clock read: wall time must never influence simulated behaviour "
+              "(timing *reports* must be suppressed with a reason)");
+    }
+  }
+}
+
+// --- pointer-sort ----------------------------------------------------------
+void check_pointer_sort(const RuleContext& ctx) {
+  const std::string& code = ctx.s.code;
+  static const char* algos[] = {"sort",        "stable_sort", "partial_sort", "nth_element",
+                                "min_element", "max_element", "minmax_element"};
+  for (const char* algo : algos) {
+    const std::string tok = algo;
+    for (std::size_t pos = code.find(tok); pos != std::string::npos;
+         pos = code.find(tok, pos + 1)) {
+      if (!word_at(code, pos, tok)) continue;
+      const std::size_t open = skip_ws(code, pos + tok.size());
+      if (open >= code.size() || code[open] != '(') continue;
+      // Look for a comparator lambda within this call whose parameters are
+      // both raw pointers: sorting on addresses is allocation-order
+      // dependent and breaks run-to-run determinism.
+      const std::size_t window_end = std::min(code.size(), open + 400);
+      std::size_t lam = code.find("](", open);
+      if (lam == std::string::npos || lam > window_end) continue;
+      const std::size_t params_begin = lam + 2;
+      const std::size_t params_end = code.find(')', params_begin);
+      if (params_end == std::string::npos) continue;
+      const std::string params = code.substr(params_begin, params_end - params_begin);
+      std::stringstream list(params);
+      std::string param;
+      std::vector<std::string> pointer_names;
+      int total = 0;
+      while (std::getline(list, param, ',')) {
+        ++total;
+        if (param.find('*') == std::string::npos) continue;
+        // Parameter name = trailing identifier.
+        std::size_t e = param.find_last_not_of(" \t\n");
+        if (e == std::string::npos) continue;
+        std::size_t b = e;
+        while (b > 0 && is_ident(param[b - 1])) --b;
+        if (is_ident(param[e])) pointer_names.push_back(param.substr(b, e - b + 1));
+      }
+      if (total < 2 || static_cast<int>(pointer_names.size()) != total) continue;
+      // Pointer params are fine when the body compares *through* them
+      // (a->id < b->id); only a bare `a < b` orders by address. Scan the
+      // lambda body for a relational operator applied to the bare names.
+      const std::size_t body_begin = code.find('{', params_end);
+      if (body_begin == std::string::npos) continue;
+      const std::size_t body_end = code.find('}', body_begin);
+      const std::string body = code.substr(
+          body_begin, body_end == std::string::npos ? 200 : body_end - body_begin);
+      bool bare_compare = false;
+      for (const std::string& lhs : pointer_names) {
+        for (std::size_t p = body.find(lhs); p != std::string::npos && !bare_compare;
+             p = body.find(lhs, p + 1)) {
+          const bool lb = p == 0 || !is_ident(body[p - 1]);
+          std::size_t after = p + lhs.size();
+          if (!lb || (after < body.size() && is_ident(body[after]))) continue;
+          after = skip_ws(body, after);
+          if (after >= body.size() || (body[after] != '<' && body[after] != '>')) continue;
+          std::size_t rhs = after + 1;
+          if (rhs < body.size() && body[rhs] == '=') ++rhs;
+          rhs = skip_ws(body, rhs);
+          for (const std::string& name : pointer_names) {
+            if (name == lhs) continue;
+            if (body.compare(rhs, name.size(), name) == 0 &&
+                (rhs + name.size() >= body.size() || !is_ident(body[rhs + name.size()]))) {
+              bare_compare = true;
+            }
+          }
+        }
+      }
+      if (bare_compare) {
+        ctx.add(pos, "pointer-sort",
+                "comparator keyed on raw pointer values: ordering follows allocation "
+                "addresses, which differ run to run; compare a stable id instead");
+      }
+    }
+  }
+}
+
+// --- narrow-cast -----------------------------------------------------------
+void check_narrow_cast(const RuleContext& ctx) {
+  if (!ctx.sim_state) return;
+  const std::string& code = ctx.s.code;
+  static const char* narrow[] = {"int8_t",  "uint8_t", "int16_t", "uint16_t",
+                                 "int32_t", "uint32_t", "short",  "char"};
+  for (std::size_t pos = code.find('('); pos != std::string::npos;
+       pos = code.find('(', pos + 1)) {
+    std::size_t p = skip_ws(code, pos + 1);
+    if (code.compare(p, 5, "std::") == 0) p = skip_ws(code, p + 5);
+    std::size_t matched_end = std::string::npos;
+    for (const char* t : narrow) {
+      if (word_at(code, p, t)) {
+        matched_end = p + std::string(t).size();
+        break;
+      }
+    }
+    if (matched_end == std::string::npos) continue;
+    const std::size_t close = skip_ws(code, matched_end);
+    if (close >= code.size() || code[close] != ')') continue;
+    // `(uint16_t)expr` — C-style cast if followed by an operand. A ')' or
+    // ',' or ';' next means this was a parameter list or type context.
+    const std::size_t operand = skip_ws(code, close + 1);
+    if (operand >= code.size()) continue;
+    const char c = code[operand];
+    if (!is_ident(c) && c != '(' && c != '*' && c != '-' && c != '+') continue;
+    // sizeof(uint16_t) etc. — look back at the identifier preceding '('.
+    std::size_t back = pos;
+    while (back > 0 && std::isspace(static_cast<unsigned char>(code[back - 1])) != 0) --back;
+    std::size_t id_begin = back;
+    while (id_begin > 0 && is_ident(code[id_begin - 1])) --id_begin;
+    const std::string prev_word = code.substr(id_begin, back - id_begin);
+    if (prev_word == "sizeof" || prev_word == "alignof" || prev_word == "decltype" ||
+        prev_word == "static_cast" || prev_word == "reinterpret_cast") {
+      continue;
+    }
+    // A NOCSIM_CHECK on the same line is taken as the bounds guard.
+    const int line = line_of(ctx.s, pos);
+    const std::size_t line_begin = ctx.s.line_offset[static_cast<std::size_t>(line) - 1];
+    const std::size_t line_end = code.find('\n', line_begin);
+    const std::string line_text = code.substr(line_begin, line_end - line_begin);
+    if (line_text.find("NOCSIM_CHECK") != std::string::npos ||
+        line_text.find("NOCSIM_DCHECK") != std::string::npos) {
+      continue;
+    }
+    ctx.add(pos, "narrow-cast",
+            "C-style narrowing cast in sim state silently truncates; use static_cast "
+            "with a NOCSIM_CHECK bounds guard");
+  }
+}
+
+// --- mutable-global --------------------------------------------------------
+void check_mutable_global(const RuleContext& ctx) {
+  if (!ctx.sim_state) return;
+  const std::string& code = ctx.s.code;
+  // Coarse scope tracking: classify each '{' by the statement text before it.
+  std::vector<char> stack;  // 'n' namespace, 't' type, 'b' block/function
+  std::size_t stmt_begin = 0;
+  auto contains_word = [](const std::string& chunk, const char* w) {
+    const std::string word = w;
+    for (std::size_t p = chunk.find(word); p != std::string::npos; p = chunk.find(word, p + 1)) {
+      const bool l = p == 0 || !is_ident(chunk[p - 1]);
+      const bool r = p + word.size() >= chunk.size() || !is_ident(chunk[p + word.size()]);
+      if (l && r) return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '{') {
+      const std::string chunk = code.substr(stmt_begin, i - stmt_begin);
+      char kind = 'b';
+      if (contains_word(chunk, "namespace")) {
+        kind = 'n';
+      } else if (chunk.find('=') == std::string::npos &&
+                 (contains_word(chunk, "class") || contains_word(chunk, "struct") ||
+                  contains_word(chunk, "union") || contains_word(chunk, "enum"))) {
+        kind = 't';
+      }
+      stack.push_back(kind);
+      stmt_begin = i + 1;
+    } else if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      stmt_begin = i + 1;
+    } else if (c == ';') {
+      const bool ns_scope =
+          std::all_of(stack.begin(), stack.end(), [](char k) { return k == 'n'; });
+      if (ns_scope) {
+        const std::string chunk = trim(code.substr(stmt_begin, i - stmt_begin));
+        bool skip = chunk.empty();
+        for (const char* kw : {"const", "constexpr", "consteval", "constinit", "using",
+                               "typedef", "extern", "template", "friend", "static_assert",
+                               "namespace", "class", "struct", "union", "enum", "return",
+                               "operator", "concept", "requires"}) {
+          if (contains_word(chunk, kw)) skip = true;
+        }
+        if (!skip) {
+          // Function declaration/definition if '(' appears before any '='.
+          const std::size_t paren = chunk.find('(');
+          const std::size_t eq = chunk.find('=');
+          if (paren != std::string::npos && (eq == std::string::npos || paren < eq)) skip = true;
+          // Need at least "type name": two identifiers.
+          if (!skip) {
+            int idents = 0;
+            bool in_id = false;
+            for (std::size_t k = 0; k < (eq == std::string::npos ? chunk.size() : eq); ++k) {
+              const bool id = is_ident(chunk[k]);
+              if (id && !in_id) ++idents;
+              in_id = id;
+            }
+            if (idents < 2) skip = true;
+          }
+          if (!skip) {
+            ctx.add(stmt_begin + (code[stmt_begin] == '\n' ? 1 : 0), "mutable-global",
+                    "mutable namespace-scope state in sim code survives across runs and "
+                    "threads; make it const/constexpr or move it into the Simulator");
+          }
+        }
+      }
+      stmt_begin = i + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+bool path_is_sim_state(const std::string& generic_path) {
+  for (const char* dir : {"src/noc/", "src/sim/", "src/core/", "src/cpu/"}) {
+    if (generic_path.find(dir) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// rng.hpp is the one sanctioned randomness implementation; it may mention
+// banned identifiers in its own implementation and documentation.
+bool path_is_entropy_impl(const std::string& generic_path) {
+  return generic_path.find("src/common/rng.hpp") != std::string::npos;
+}
+
+int lint_file(const fs::path& path, bool force_sim_state, std::vector<Finding>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "nocsim-lint: cannot read %s\n", path.string().c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+  const std::string display = path.generic_string();
+
+  const Stripped stripped = strip(src);
+  std::vector<Finding> findings;
+  const std::map<int, Allow> allows = parse_directives(stripped, display, findings);
+
+  RuleContext ctx{display, stripped, force_sim_state || path_is_sim_state(display), findings};
+  check_unordered(ctx);
+  if (!path_is_entropy_impl(display)) check_entropy_and_clocks(ctx);
+  check_pointer_sort(ctx);
+  check_narrow_cast(ctx);
+  check_mutable_global(ctx);
+
+  // Apply suppressions: an allow covers its own line and the next line.
+  for (const Finding& f : findings) {
+    if (f.rule != "bad-directive") {
+      auto covered = [&](int line) {
+        auto it = allows.find(line);
+        return it != allows.end() && it->second.rules.count(f.rule) != 0;
+      };
+      if (covered(f.line) || covered(f.line - 1)) continue;
+    }
+    out.push_back(f);
+  }
+  return 0;
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc" || ext == ".cxx";
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: nocsim_lint [--sim-state] [--list-rules] <file-or-dir>...\n"
+               "  --sim-state   treat all inputs as sim-state code (fixture testing)\n"
+               "  --list-rules  print rule names and exit\n"
+               "exit status: 0 clean, 1 findings, 2 usage/IO error\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool force_sim_state = false;
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sim-state") {
+      force_sim_state = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& r : known_rules()) std::printf("%s\n", r.c_str());
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const fs::path& p : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && lintable(entry.path())) files.push_back(entry.path());
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::fprintf(stderr, "nocsim-lint: no such file or directory: %s\n", p.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const fs::path& f : files) {
+    if (int rc = lint_file(f, force_sim_state, findings); rc != 0) return rc;
+  }
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+  }
+  std::printf("nocsim-lint: %zu file(s), %zu finding(s)\n", files.size(), findings.size());
+  return findings.empty() ? 0 : 1;
+}
