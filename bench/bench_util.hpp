@@ -19,8 +19,18 @@
 
 namespace nocsim::bench {
 
-/// Per-bench sweep plumbing: registers the standard --jobs, --run-log and
-/// --derive-seeds flags, owns the RunLog, and hands out a SweepRunner bound
+/// Parse the value of `--trace-flits[=N]`: the flag parser stores a bare
+/// `--trace-flits` as "true" (trace every packet); "0"/"false"/"" disable;
+/// anything else is the packet sampling divisor N.
+inline std::uint32_t parse_trace_every(const std::string& v) {
+  if (v == "true") return 1;
+  if (v.empty() || v == "0" || v == "false") return 0;
+  return static_cast<std::uint32_t>(std::stoul(v));
+}
+
+/// Per-bench sweep plumbing: registers the standard --jobs, --run-log,
+/// --derive-seeds and telemetry (--timeseries, --timeseries-period,
+/// --trace-flits) flags, owns the RunLog, and hands out a SweepRunner bound
 /// to it. Construct before flags.finish(); call flush() after the figure's
 /// CSV has been emitted to write <stem>.runs.{csv,json} next to it.
 ///
@@ -39,6 +49,22 @@ class SweepContext {
     stem_ = flags.get_string(
         "run-log", flags.program_name(),
         "path stem for per-run records (<stem>.runs.csv/.json; \"\" disables)");
+    const bool timeseries = flags.get_bool(
+        "timeseries", false, "write per-run telemetry to <stem>.run<i>.timeseries.csv");
+    options.telemetry_period = static_cast<Cycle>(flags.get_int(
+        "timeseries-period", 0, "telemetry sample period, cycles (0 = controller epoch)"));
+    options.trace_flits = parse_trace_every(flags.get_string(
+        "trace-flits", "0",
+        "trace 1-in-N packets to <stem>.run<i>.trace.json (bare flag: every packet)"));
+    if (timeseries || options.trace_flits > 0) {
+      if (stem_.empty()) {
+        std::cerr << "nocsim: --timeseries/--trace-flits need a --run-log stem; "
+                     "telemetry disabled\n";
+        options.trace_flits = 0;
+      } else {
+        options.telemetry_stem = stem_;
+      }
+    }
     options.log = &log_;
     runner_ = SweepRunner(options);
   }

@@ -5,7 +5,14 @@
 // due to phase behaviour; this is what makes a *dynamic* (periodic)
 // throttling mechanism necessary and drives the per-epoch IPF variance of
 // Table 1.
+//
+// Implementation: each run carries a caller-owned TelemetryHub sampling on
+// the bin cadence; the per-bin injected-flit counts are read back from the
+// app node's `injections` counter column (per-interval deltas).
+#include <memory>
+
 #include "bench_util.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nocsim::bench {
 namespace {
@@ -30,29 +37,31 @@ int run(int argc, char** argv) {
   }
 
   std::vector<SweepPoint> points;
+  std::vector<std::unique_ptr<TelemetryHub>> hubs;
   for (const std::string& app : apps) {
-    SimConfig c = small_noc_config(measure, 3);
-    c.record_injection_trace = true;
-    c.injection_trace_bin = bin;
+    const SimConfig c = small_noc_config(measure, 3);
     WorkloadSpec wl;
     wl.category = app;
     wl.app_names.assign(16, "");
     wl.app_names[5] = app;
-    points.push_back({c, wl, app, {}});
+    hubs.push_back(std::make_unique<TelemetryHub>(TelemetryHub::Options{bin}));
+    points.push_back({c, wl, app, {}, hubs.back().get()});
   }
-  const std::vector<SimResult> results = sweep.runner().run(points);
+  sweep.runner().run(points);
 
   CsvWriter csv(std::cout);
   csv.comment("Figure 6: injected flits per " + std::to_string(bin) +
               "-cycle bin over time, one application per run (alone in a 4x4 mesh).");
   csv.comment("Paper: injection intensity varies with application phases (bursts, waves).");
+  csv.comment("Bins cover the whole run (warmup included); bin_start_cycle is absolute.");
   csv.header({"app", "bin_start_cycle", "flits_injected", "flits_per_cycle"});
 
   for (std::size_t i = 0; i < apps.size(); ++i) {
-    const SimResult& r = results[i];
-    for (std::size_t b = 0; b < r.injection_trace[5].size(); ++b) {
-      const auto flits = r.injection_trace[5][b];
-      csv.row(apps[i], b * bin, flits, static_cast<double>(flits) / static_cast<double>(bin));
+    const TelemetryHub& hub = *hubs[i];
+    for (std::size_t r = 0; r < hub.num_rows(); ++r) {
+      const auto flits = std::stoull(hub.cell(r, "n5.injections"));
+      csv.row(apps[i], hub.row_cycle(r) + 1 - bin, flits,
+              static_cast<double>(flits) / static_cast<double>(bin));
     }
   }
   sweep.flush();

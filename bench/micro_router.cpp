@@ -13,6 +13,8 @@
 #include "noc/buffered_fabric.hpp"
 #include "noc/traffic.hpp"
 #include "sim/experiment.hpp"
+#include "telemetry/flit_trace.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/synth_trace.hpp"
 
 namespace nocsim {
@@ -95,6 +97,33 @@ void BM_SimulatorCycle(benchmark::State& state) {
       static_cast<double>(state.iterations()) * side * side, benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulatorCycle)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// Same closed-loop step with the observability layer engaged: a telemetry
+// hub on a 1000-cycle cadence plus a 1-in-16 flit tracer. Compare against
+// BM_SimulatorCycle (telemetry detached, the null-pointer fast path) to see
+// what tracing costs when it is on.
+void BM_SimulatorCycleTelemetry(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  SimConfig c;
+  c.width = c.height = side;
+  c.l2_map = side > 8 ? "exponential" : "xor";
+  Rng rng(7);
+  const auto wl = make_category_workload("HM", side * side, rng);
+  Simulator sim(c, wl);
+  TelemetryHub hub(TelemetryHub::Options{1000});
+  sim.attach_telemetry(&hub);
+  ChromeTracer::Options topts;
+  topts.sample_every = 16;
+  ChromeTracer tracer(topts);
+  sim.attach_tracer(&tracer);
+  sim.run_cycles(2000);  // warm the pipeline out of the cold-start regime
+  for (auto _ : state) sim.run_cycles(1);
+  state.counters["node_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * side * side, benchmark::Counter::kIsRate);
+  benchmark::DoNotOptimize(hub.num_rows());
+  benchmark::DoNotOptimize(tracer.num_events());
+}
+BENCHMARK(BM_SimulatorCycleTelemetry)->Arg(4)->Arg(8)->Arg(16);
 
 }  // namespace
 }  // namespace nocsim

@@ -103,7 +103,8 @@ class SlidingWindowRate {
 };
 
 /// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
-/// first/last bin. Used for latency distributions and starvation CDFs.
+/// first/last bin (the exact sample min/max are tracked unclamped). Used
+/// for latency distributions, starvation CDFs, and telemetry percentiles.
 class Histogram {
  public:
   Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
@@ -116,9 +117,24 @@ class Histogram {
     idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
     ++counts_[static_cast<std::size_t>(idx)];
     ++total_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merge a histogram with identical bin edges (parallel-sweep reduction).
+  void merge(const Histogram& other) {
+    NOCSIM_CHECK_MSG(lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size(),
+                     "Histogram::merge requires identical bin edges");
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
   }
 
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Exact (unclamped) extremes of the samples; 0 when empty.
+  [[nodiscard]] double min() const { return total_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return total_ ? max_ : 0.0; }
   [[nodiscard]] int bins() const { return static_cast<int>(counts_.size()); }
   [[nodiscard]] std::uint64_t bin_count(int i) const { return counts_.at(i); }
   [[nodiscard]] double bin_left(int i) const {
@@ -136,10 +152,18 @@ class Histogram {
   /// Approximate quantile (linear within a bin).
   [[nodiscard]] double quantile(double q) const;
 
+  // Telemetry shorthand (see src/telemetry/): the percentile set every
+  // latency instrument reports.
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
  private:
   double lo_, hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Exact empirical CDF from retained samples; used by benches whose sample

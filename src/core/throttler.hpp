@@ -54,10 +54,20 @@ class InjectionThrottler {
   /// One eligible injection attempt (trying + output link free). Returns
   /// true if injection is allowed this cycle, false if throttled.
   bool allow() {
-    if (gate_ == Gate::Randomized) return !rng_.next_bool(rate_);
-    count_ = (count_ + 1) % kMaxCount;
-    return count_ >= threshold_;
+    bool allowed = true;
+    if (gate_ == Gate::Randomized) {
+      allowed = !rng_.next_bool(rate_);
+    } else {
+      count_ = (count_ + 1) % kMaxCount;
+      allowed = count_ >= threshold_;
+    }
+    if (!allowed) ++blocked_;
+    return allowed;
   }
+
+  /// Cumulative attempts the gate denied (monotone; telemetry samples it as
+  /// per-interval deltas).
+  [[nodiscard]] std::uint64_t blocked_attempts() const { return blocked_; }
 
   /// Whether any throttling is configured. Keyed on the rate, not the
   /// counter threshold: rates below 1/kMaxCount floor to threshold_ == 0,
@@ -70,6 +80,7 @@ class InjectionThrottler {
   double rate_ = 0.0;
   std::uint32_t threshold_ = 0;
   std::uint32_t count_ = 0;
+  std::uint64_t blocked_ = 0;
   Rng rng_;
 };
 

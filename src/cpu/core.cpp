@@ -30,6 +30,7 @@ void Core::retire(Cycle now) {
     ++retired;
     ++stats_.retired;
     ++epoch_retired_;
+    ++lifetime_retired_;
   }
 }
 

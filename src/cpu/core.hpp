@@ -88,6 +88,11 @@ class Core {
   [[nodiscard]] std::uint64_t epoch_retired() const { return epoch_retired_; }
   void reset_epoch() { epoch_retired_ = 0; }
 
+  /// Instructions retired since construction; unlike CoreStats::retired it
+  /// survives reset_stats(), so telemetry can sample it as a monotone
+  /// counter across the warmup/measurement boundary.
+  [[nodiscard]] std::uint64_t lifetime_retired() const { return lifetime_retired_; }
+
   void reset_stats() {
     stats_ = CoreStats{};
     l1_.reset_stats();
@@ -127,6 +132,7 @@ class Core {
 
   CoreStats stats_;
   std::uint64_t epoch_retired_ = 0;
+  std::uint64_t lifetime_retired_ = 0;
 };
 
 }  // namespace nocsim

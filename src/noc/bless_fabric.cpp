@@ -98,6 +98,7 @@ void BlessFabric::route_node(Cycle now, NodeId n) {
     flits[count++] = f;
     ++in_network_;
     ++stats_.flits_injected;
+    if (trace_ != nullptr) trace_->on_inject(now, n, f);
   }
 
   if (count == 0) return;
@@ -141,6 +142,8 @@ void BlessFabric::route_node(Cycle now, NodeId n) {
       NOCSIM_CHECK_MSG(assigned >= 0, "no free output port: flit would be dropped");
       ++f.deflections;
       ++stats_.deflections;
+      ++node_deflections_[static_cast<std::size_t>(n)];
+      if (trace_ != nullptr) trace_->on_deflect(now, n, f);
     }
     taken |= static_cast<std::uint8_t>(1u << assigned);
     (void)productive;
@@ -148,6 +151,7 @@ void BlessFabric::route_node(Cycle now, NodeId n) {
     ++f.hops;
     ++stats_.flit_hops;
     if (mark) f.congested_bit = true;
+    if (trace_ != nullptr) trace_->on_hop(now, n, st.nbr[assigned], f);
     const Dir out_dir = static_cast<Dir>(assigned);
     wheel_[(now + static_cast<Cycle>(hop_latency_)) % wheel_.size()].push_back(
         InFlight{st.nbr[assigned], static_cast<std::uint8_t>(opposite(out_dir)), f});

@@ -47,7 +47,6 @@ class BlessFabric final : public Fabric {
   void begin_cycle(Cycle now) override;
   [[nodiscard]] bool can_accept(NodeId n) const override;
   void step(Cycle now) override;
-  [[nodiscard]] bool empty() const override { return in_network_ == 0; }
 
  private:
   struct NodeState {
@@ -69,7 +68,6 @@ class BlessFabric final : public Fabric {
   BlessRouting routing_;
   std::vector<NodeState> nodes_;
   std::vector<std::vector<InFlight>> wheel_;  ///< indexed by cycle % wheel size
-  std::uint64_t in_network_ = 0;
   Cycle last_begun_ = ~Cycle{0};
 };
 

@@ -118,6 +118,7 @@ void BufferedFabric::accept_injection(Cycle now, NodeId n) {
   ++in_network_;
   ++stats_.flits_injected;
   ++stats_.buffer_writes;
+  if (trace_ != nullptr) trace_->on_inject(now, n, f);
 }
 
 void BufferedFabric::step(Cycle now) {
@@ -243,6 +244,7 @@ void BufferedFabric::route_node(Cycle now, NodeId n) {
     if (node_marks(n)) moving.congested_bit = true;
     const NodeId next = st.nbr[op];
     NOCSIM_CHECK_MSG(next != kInvalidNode, "XY routing chose a missing link");
+    if (trace_ != nullptr) trace_->on_hop(now, n, next, moving);
     wheel_[(now + static_cast<Cycle>(hop_latency_)) % wheel_.size()].push_back(LinkArrival{
         next, static_cast<std::uint8_t>(opposite(static_cast<Dir>(op))),
         static_cast<std::uint8_t>(ovc), moving});

@@ -38,7 +38,6 @@ class BufferedFabric final : public Fabric {
   void begin_cycle(Cycle now) override;
   [[nodiscard]] bool can_accept(NodeId n) const override;
   void step(Cycle now) override;
-  [[nodiscard]] bool empty() const override { return in_network_ == 0; }
 
  private:
   /// Fixed-capacity flit FIFO, matching the hardware buffer exactly
@@ -121,7 +120,6 @@ class BufferedFabric final : public Fabric {
   std::vector<NodeState> nodes_;
   std::vector<std::vector<LinkArrival>> wheel_;
   std::vector<std::vector<CreditReturn>> credit_wheel_;
-  std::uint64_t in_network_ = 0;
   Cycle last_begun_ = ~Cycle{0};
 };
 

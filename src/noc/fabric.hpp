@@ -22,6 +22,7 @@
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/flit.hpp"
+#include "noc/trace_sink.hpp"
 #include "topology/topology.hpp"
 
 namespace nocsim {
@@ -66,7 +67,8 @@ class Fabric {
   Fabric(const Topology& topo, int router_latency, int link_latency)
       : topo_(topo),
         hop_latency_(router_latency + link_latency),
-        pending_inject_(topo.num_nodes()) {
+        pending_inject_(topo.num_nodes()),
+        node_deflections_(static_cast<std::size_t>(topo.num_nodes()), 0) {
     NOCSIM_CHECK(router_latency >= 1 && link_latency >= 1);
   }
   virtual ~Fabric() = default;
@@ -75,6 +77,12 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
 
   void set_eject_sink(EjectSink sink) { sink_ = std::move(sink); }
+
+  /// Attach (or detach, with nullptr) a flit-level event observer. The
+  /// fabric does not own the sink; it must outlive the fabric or be
+  /// detached first. With no sink attached, every hook site reduces to one
+  /// null-pointer test (the telemetry off fast path).
+  void set_trace_sink(FlitEventSink* sink) { trace_ = sink; }
 
   virtual void begin_cycle(Cycle now) = 0;
   [[nodiscard]] virtual bool can_accept(NodeId n) const = 0;
@@ -90,7 +98,17 @@ class Fabric {
   virtual void step(Cycle now) = 0;
 
   /// True when no flit is in a router, on a link, or in an internal buffer.
-  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] bool empty() const { return in_network_ == 0; }
+
+  /// Flits currently inside the network (telemetry gauge): injected but not
+  /// yet ejected, whether in a router, on a link, or buffered.
+  [[nodiscard]] std::uint64_t in_flight() const { return in_network_; }
+
+  /// Cumulative deflections at node n's router (monotone; telemetry samples
+  /// it as per-interval deltas). Always 0 on the buffered fabric.
+  [[nodiscard]] std::uint64_t node_deflections(NodeId n) const {
+    return node_deflections_[static_cast<std::size_t>(n)];
+  }
 
   [[nodiscard]] const FabricStats& stats() const { return stats_; }
   void reset_stats() { stats_ = FabricStats{}; }
@@ -124,6 +142,7 @@ class Fabric {
     stats_.deflections_per_flit.add(static_cast<double>(f.deflections));
     stats_.flit_hops_delivered += f.hops;
     stats_.min_hops_total += static_cast<std::uint64_t>(topo_.distance(f.src, f.dst));
+    if (trace_ != nullptr) trace_->on_eject(now, at, f);
     if (sink_) sink_(at, f);
   }
 
@@ -136,6 +155,9 @@ class Fabric {
   std::vector<InjectSlot> pending_inject_;
   FabricStats stats_;
   EjectSink sink_;
+  FlitEventSink* trace_ = nullptr;     ///< null = tracing off (fast path)
+  std::uint64_t in_network_ = 0;       ///< flits injected minus ejected
+  std::vector<std::uint64_t> node_deflections_;  ///< per-router, never reset
   std::vector<std::uint8_t> marking_;  ///< empty unless distributed CC active
 };
 

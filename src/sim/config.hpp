@@ -78,9 +78,6 @@ struct SimConfig {
   Cycle measure_cycles = 200'000;
   /// Record per-epoch IPF samples (Table 1 variance measurement).
   bool record_epoch_ipf = false;
-  /// Record per-epoch injected-flit counts (Fig. 6 phase traces).
-  bool record_injection_trace = false;
-  Cycle injection_trace_bin = 10'000;
 
   [[nodiscard]] int num_nodes() const { return width * height; }
 };

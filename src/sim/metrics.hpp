@@ -2,15 +2,30 @@
 // evaluates with (§3.1, §6.2).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/stats.hpp"
 #include "noc/fabric.hpp"
 #include "power/power.hpp"
 
 namespace nocsim {
+
+/// Number of workload intensity classes (Heavy/Medium/Light — mirrors
+/// workload/app_profile.hpp IntensityClass, kept as a plain constant so
+/// metrics does not depend on the workload module).
+inline constexpr int kNumIntensityClasses = 3;
+
+/// Latency distributions over delivered flits in the measurement window
+/// (cycles). Fixed bins sized for congested-regime tails; samples beyond
+/// the range clamp into the last bin while min()/max() stay exact.
+struct LatencyHistograms {
+  Histogram net{0.0, 2048.0, 256};    ///< inject -> eject
+  Histogram total{0.0, 4096.0, 256};  ///< NI enqueue -> eject
+};
 
 struct NodeResult {
   std::string app;                 ///< application name ("" = idle node)
@@ -43,8 +58,12 @@ struct SimResult {
   // Congestion-control bookkeeping.
   double congested_epoch_fraction = 0.0;
 
-  // Fig. 6-style injection-rate trace (flits injected per bin), if recorded.
-  std::vector<std::vector<std::uint64_t>> injection_trace;  ///< [node][bin]
+  // Latency distributions (the means above are their first moments).
+  LatencyHistograms latency;  ///< all delivered flits
+  /// Split by the intensity class of the app that owns the flit (a
+  /// Request's source node, a Response's destination node); Control flits
+  /// and flits of idle/file-trace nodes count only in `latency`.
+  std::array<LatencyHistograms, kNumIntensityClasses> latency_by_class;
 
   /// System throughput (§3.1): sum of per-node IPC.
   [[nodiscard]] double system_throughput() const {

@@ -3,6 +3,7 @@
 #include "cpu/file_trace.hpp"
 #include "noc/bless_fabric.hpp"
 #include "noc/buffered_fabric.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/synth_trace.hpp"
 
 namespace nocsim {
@@ -60,6 +61,7 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
   }
 
   cores_.resize(n);
+  node_class_.assign(static_cast<std::size_t>(n), -1);
   nis_.reserve(n);
   for (NodeId i = 0; i < n; ++i) {
     nis_.emplace_back([this, i](const Flit& header, Cycle) { on_packet(i, header); });
@@ -77,6 +79,7 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
       trace = std::make_unique<FileTrace>(FileTrace::load(app.substr(5)));
     } else {
       const AppProfile& profile = app_by_name(app);
+      node_class_[static_cast<std::size_t>(i)] = static_cast<int>(profile.cls);
       trace = std::make_unique<SyntheticTrace>(profile, config_.seed,
                                                static_cast<std::uint64_t>(i));
       // The application's dependence-limited MLP caps outstanding misses
@@ -132,6 +135,23 @@ void Simulator::on_miss(NodeId n, Addr block) {
 
 void Simulator::on_flit_ejected(NodeId at, const Flit& f) {
   nis_[at].reassembly.on_flit(f, now_);
+  if (!measuring_) return;
+  // Latency distributions (per-flit, like the fabric's mean accumulators).
+  const double net = static_cast<double>(now_ - f.inject_cycle);
+  const double total = static_cast<double>(now_ - f.enqueue_cycle);
+  lat_all_.net.add(net);
+  lat_all_.total.add(total);
+  // Attribute to the app that owns the flit: a Request belongs to its
+  // source core, a Response to the core it fills. Control flits and flits
+  // of idle/file-trace nodes have no intensity class.
+  NodeId owner = kInvalidNode;
+  if (f.kind == PacketKind::Request) owner = f.src;
+  if (f.kind == PacketKind::Response) owner = f.dst;
+  if (owner == kInvalidNode) return;
+  const int cls = node_class_[static_cast<std::size_t>(owner)];
+  if (cls < 0) return;
+  lat_class_[static_cast<std::size_t>(cls)].net.add(net);
+  lat_class_[static_cast<std::size_t>(cls)].total.add(total);
 }
 
 void Simulator::on_packet(NodeId at, const Flit& header) {
@@ -236,15 +256,10 @@ void Simulator::ni_inject(NodeId n) {
     const bool atomic = (config_.router == RouterKind::Buffered);
     ni.mid_packet = (atomic && !tail) ? pick : 0;
     ni.response_turn = (pick == 2);
+    ++ni.injected_flits;
     injected = true;
   }
   ni.starvation.record(!injected);
-
-  if (injected && measuring_ && !injection_trace_.empty()) {
-    const auto bin = static_cast<std::size_t>((now_ - measure_start_) /
-                                              config_.injection_trace_bin);
-    if (bin < injection_trace_[n].size()) ++injection_trace_[n][bin];
-  }
 }
 
 void Simulator::epoch_update() {
@@ -302,6 +317,10 @@ void Simulator::step() {
     if (cores_[i]) cores_[i]->step(now_);
   }
   if ((now_ + 1) % config_.cc_params.epoch == 0) epoch_update();
+  // Sample after epoch_update so an epoch-cadence row carries the values the
+  // controller consumed (sigma, IPF) and produced (rates, congested flag)
+  // *this* cycle. Null hub = one pointer test per cycle.
+  if (hub_ != nullptr && (now_ + 1) % hub_period_ == 0) hub_->sample(now_);
   if (distributed_ && (now_ + 1) % config_.dist_params.mark_update_period == 0) {
     for (NodeId i = 0; i < n; ++i) {
       fabric_->set_marks_flits(i,
@@ -330,12 +349,8 @@ void Simulator::begin_measurement() {
   }
   epochs_at_measure_start_ = controller_->epochs_total();
   congested_epochs_at_measure_start_ = controller_->epochs_congested();
-  if (config_.record_injection_trace) {
-    const auto bins = static_cast<std::size_t>(
-        (config_.measure_cycles + config_.injection_trace_bin - 1) /
-        config_.injection_trace_bin);
-    injection_trace_.assign(config_.num_nodes(), std::vector<std::uint64_t>(bins, 0));
-  }
+  lat_all_ = LatencyHistograms{};
+  lat_class_.fill(LatencyHistograms{});
 }
 
 SimResult Simulator::run() {
@@ -392,8 +407,73 @@ SimResult Simulator::collect(Cycle measured_cycles) {
       controller_->epochs_congested() - congested_epochs_at_measure_start_;
   result.congested_epoch_fraction =
       epochs ? static_cast<double>(congested) / static_cast<double>(epochs) : 0.0;
-  result.injection_trace = injection_trace_;
+  result.latency = lat_all_;
+  result.latency_by_class = lat_class_;
   return result;
+}
+
+void Simulator::attach_telemetry(TelemetryHub* hub) {
+  NOCSIM_CHECK(hub != nullptr);
+  NOCSIM_CHECK_MSG(hub_ == nullptr, "telemetry hub already attached");
+  hub_ = hub;
+  hub_->default_sample_period(config_.cc_params.epoch);
+  hub_period_ = hub_->sample_period();
+  NOCSIM_CHECK(hub_period_ > 0);
+
+  // Controller-epoch columns. On the default cadence (the epoch) a row is
+  // written in the same cycle epoch_update() ran, so sigma/ipf below are the
+  // inputs Algorithm 1 consumed and congested/throttle_rate its outputs.
+  hub_->add_gauge("cc.congested",
+                  [this] { return controller_->last_congested() ? 1.0 : 0.0; });
+  hub_->add_text("cc.throttled_nodes", [this] {
+    std::string out;
+    for (std::size_t i = 0; i < staged_rates_.size(); ++i) {
+      if (staged_rates_[i] <= 0.0) continue;
+      if (!out.empty()) out += ';';
+      out += std::to_string(i);
+    }
+    return out;
+  });
+
+  // Fabric columns.
+  const double links = static_cast<double>(fabric_->num_links());
+  const double period = static_cast<double>(hub_period_);
+  hub_->add_gauge("fabric.link_utilization",
+                  [this, links, period, last = std::uint64_t{0}]() mutable {
+                    // Mean fraction of links busy over the interval. The hop
+                    // counter restarts from zero at the measurement boundary
+                    // (reset_stats), so guard the delta instead of
+                    // registering it as a monotone counter.
+                    const std::uint64_t cur = fabric_->stats().flit_hops;
+                    const std::uint64_t delta = cur >= last ? cur - last : cur;
+                    last = cur;
+                    return static_cast<double>(delta) / (links * period);
+                  });
+  hub_->add_gauge("fabric.in_flight",
+                  [this] { return static_cast<double>(fabric_->in_flight()); });
+
+  // Per-node columns.
+  for (NodeId i = 0; i < config_.num_nodes(); ++i) {
+    // (Built up in steps: GCC 12's -Wrestrict misfires on chained
+    // string literal + to_string concatenation at -O3.)
+    std::string p = "n";
+    p += std::to_string(i);
+    p += '.';
+    hub_->add_gauge(p + "sigma", [this, i] { return telemetry_[i].starvation_rate; });
+    hub_->add_gauge(p + "sigma_net",
+                    [this, i] { return nis_[i].starvation_net.windowed_rate(); });
+    hub_->add_gauge(p + "ipf", [this, i] { return telemetry_[i].ipf; });
+    hub_->add_gauge(p + "throttle_rate", [this, i] { return nis_[i].throttler.rate(); });
+    hub_->add_counter(p + "injections", [this, i] { return nis_[i].injected_flits; });
+    hub_->add_counter(p + "deflections",
+                      [this, i] { return fabric_->node_deflections(i); });
+    hub_->add_counter(p + "blocked",
+                      [this, i] { return nis_[i].throttler.blocked_attempts(); });
+    if (cores_[i] != nullptr) {
+      hub_->add_counter(p + "retired",
+                        [this, i] { return cores_[i]->lifetime_retired(); });
+    }
+  }
 }
 
 }  // namespace nocsim

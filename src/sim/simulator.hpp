@@ -35,12 +35,26 @@
 
 namespace nocsim {
 
+class TelemetryHub;
+
 class Simulator {
  public:
   Simulator(SimConfig config, WorkloadSpec workload);
 
   /// Warmup (stats discarded) then measurement; returns the full result.
   SimResult run();
+
+  /// Register this simulator's instruments with `hub` (which must outlive
+  /// the simulator) and sample them every hub sample period; if the hub has
+  /// no period yet, the controller epoch is adopted, so each row carries
+  /// exactly the per-node (sigma, IPF) values Algorithm 1 consumed and the
+  /// throttle rates it decided. Call once, before run(). With no hub
+  /// attached the per-cycle cost is one null-pointer test.
+  void attach_telemetry(TelemetryHub* hub);
+
+  /// Attach a flit-level event tracer (forwarded to the fabric; see
+  /// telemetry/flit_trace.hpp). Pass nullptr to detach.
+  void attach_tracer(FlitEventSink* tracer) { fabric_->set_trace_sink(tracer); }
 
   /// Finer-grained control (tests): advance some cycles without the
   /// warmup/measure bookkeeping of run().
@@ -72,6 +86,7 @@ class Simulator {
     std::uint64_t epoch_flits = 0;    ///< flits attributed this epoch (IPF denom)
     std::uint64_t measure_flits = 0;  ///< flits attributed in the measurement window
     double rate_integral = 0.0;       ///< sum of applied throttle rate per cycle
+    std::uint64_t injected_flits = 0; ///< flits injected, lifetime (telemetry counter)
   };
 
   /// A serviced request waiting out the L2 latency.
@@ -117,7 +132,14 @@ class Simulator {
   std::uint64_t congested_epochs_at_measure_start_ = 0;
 
   std::vector<std::vector<double>> epoch_ipf_;  ///< [node][epoch] when recorded
-  std::vector<std::vector<std::uint64_t>> injection_trace_;
+
+  // Telemetry (see attach_telemetry). node_class_ maps node -> intensity
+  // class index, -1 for idle and file-trace nodes.
+  TelemetryHub* hub_ = nullptr;
+  Cycle hub_period_ = 0;
+  LatencyHistograms lat_all_;
+  std::array<LatencyHistograms, kNumIntensityClasses> lat_class_;
+  std::vector<int> node_class_;
 };
 
 }  // namespace nocsim

@@ -9,6 +9,8 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/flit_trace.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nocsim {
 namespace {
@@ -140,8 +142,6 @@ std::uint64_t config_hash(const SimConfig& c, const WorkloadSpec& workload) {
   h.mix(c.warmup_cycles);
   h.mix(c.measure_cycles);
   h.mix(c.record_epoch_ipf);
-  h.mix(c.record_injection_trace);
-  h.mix(c.injection_trace_bin);
   h.mix(workload.category);
   h.mix(static_cast<std::uint64_t>(workload.app_names.size()));
   for (const std::string& app : workload.app_names) h.mix(app);
@@ -237,7 +237,37 @@ std::vector<SimResult> SweepRunner::run(const std::vector<SweepPoint>& points) {
       // nocsim-lint: allow(wallclock): host wall time feeds the run record only, never sim state.
       const auto start = std::chrono::steady_clock::now();
       Simulator sim(config, point.workload);
+
+      // Telemetry: a caller-owned hub wins; otherwise a stem makes the
+      // runner own one per run and write its files below. Both hub and
+      // tracer are private to this run, so records stay schedule-free.
+      const bool own_files = !options_.telemetry_stem.empty();
+      TelemetryHub* hub = point.hub;
+      std::optional<TelemetryHub> owned_hub;
+      if (hub == nullptr && own_files) {
+        owned_hub.emplace(TelemetryHub::Options{options_.telemetry_period});
+        hub = &*owned_hub;
+      }
+      if (hub != nullptr) sim.attach_telemetry(hub);
+      std::optional<ChromeTracer> tracer;
+      if (options_.trace_flits > 0) {
+        ChromeTracer::Options topts;
+        topts.sample_every = options_.trace_flits;
+        tracer.emplace(topts);
+        sim.attach_tracer(&*tracer);
+      }
+
       results[i] = sim.run();
+
+      if (own_files) {
+        const std::string base = options_.telemetry_stem + ".run" + std::to_string(i);
+        if (owned_hub && !owned_hub->write_csv_file(base + ".timeseries.csv")) {
+          std::fprintf(stderr, "nocsim: cannot write %s.timeseries.csv\n", base.c_str());
+        }
+        if (tracer && !tracer->write_json_file(base + ".trace.json")) {
+          std::fprintf(stderr, "nocsim: cannot write %s.trace.json\n", base.c_str());
+        }
+      }
       // nocsim-lint: allow(wallclock): wall_seconds is a reporting field, not sim state.
       const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
       if (options_.log) {

@@ -29,6 +29,8 @@
 
 namespace nocsim {
 
+class TelemetryHub;
+
 /// Mix a point's position into the experiment's base seed (splitmix64-style
 /// avalanche). Pure function of (base, stream): the derived seed is
 /// independent of thread count and schedule, and distinct streams sharing a
@@ -86,6 +88,11 @@ struct SweepPoint {
   /// to the point's position. Paired designs (baseline vs throttled run of
   /// the same workload) share a stream so both arms see the same seed.
   std::optional<std::uint64_t> seed_stream;
+  /// Optional caller-owned telemetry hub attached to this point's
+  /// simulator. The caller reads/writes it after run() returns; the runner
+  /// writes no files for it (contrast SweepOptions::telemetry_stem, which
+  /// makes the runner own a hub per run). Must outlive the sweep.
+  TelemetryHub* hub = nullptr;
 };
 
 struct SweepOptions {
@@ -95,6 +102,18 @@ struct SweepOptions {
   /// seeds (--derive-seeds opts in); programmatic sweeps default to it.
   bool derive_seeds = true;
   RunLog* log = nullptr;     ///< optional per-run record sink
+
+  // Telemetry (see src/telemetry/). When telemetry_stem is non-empty, every
+  // run without a caller-owned point.hub gets a runner-owned hub and writes
+  // `<stem>.run<i>.timeseries.csv`. Output is deterministic for a fixed
+  // (config, seed) at any --jobs: each run's telemetry is private to its
+  // simulator and files are keyed by point index.
+  std::string telemetry_stem;
+  /// Sample period for runner-owned hubs; 0 = each run's controller epoch.
+  Cycle telemetry_period = 0;
+  /// When > 0, attach a flit tracer sampling 1-in-N packets to every run
+  /// and write `<stem>.run<i>.trace.json` (requires telemetry_stem).
+  std::uint32_t trace_flits = 0;
 };
 
 /// Runs a vector of sweep points on a fixed-size thread pool and collects

@@ -1,0 +1,17 @@
+// Lint fixture: must trigger [iostream-in-hot-path] under --hot-path (three
+// streams), and an allow directive must suppress a fourth — not compiled.
+#include <iostream>
+
+struct Router {
+  void route_flit(int flit) {
+    std::cout << "routing " << flit << '\n';  // finding 1
+    if (flit < 0) std::cerr << "bad flit\n";  // finding 2
+  }
+
+  void log_stall() { std::clog << "stall\n"; }  // finding 3
+
+  void debug_dump() {
+    // nocsim-lint: allow(iostream-in-hot-path): dead debug hook, never called per cycle.
+    std::cerr << "dump\n";
+  }
+};

@@ -25,9 +25,10 @@ struct LintRun {
 
 /// Runs the lint binary on one fixture (as sim-state code) and captures
 /// stdout+stderr and the exit status.
-LintRun run_lint(const std::string& fixture, bool sim_state = true) {
-  const std::string cmd = std::string(NOCSIM_LINT_BIN) + (sim_state ? " --sim-state " : " ") +
-                          NOCSIM_LINT_FIXTURE_DIR "/" + fixture + " 2>&1";
+LintRun run_lint(const std::string& fixture, bool sim_state = true, bool hot_path = false) {
+  const std::string cmd = std::string(NOCSIM_LINT_BIN) + (sim_state ? " --sim-state" : "") +
+                          (hot_path ? " --hot-path" : "") + " " + NOCSIM_LINT_FIXTURE_DIR "/" +
+                          fixture + " 2>&1";
   LintRun run;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return run;
@@ -95,6 +96,22 @@ TEST(Lint, MutableNamespaceScopeStateTriggers) {
   const LintRun run = run_lint("trigger_mutable_global.cpp");
   EXPECT_EQ(run.exit_code, 1) << run.output;
   EXPECT_EQ(count_rule(run.output, "mutable-global"), 2) << run.output;
+}
+
+TEST(Lint, IostreamInHotPathTriggers) {
+  const LintRun run =
+      run_lint("trigger_iostream_hot_path.cpp", /*sim_state=*/false, /*hot_path=*/true);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // cout + cerr + clog; the allow()-suppressed cerr must not count.
+  EXPECT_EQ(count_rule(run.output, "iostream-in-hot-path"), 3) << run.output;
+}
+
+TEST(Lint, IostreamOutsideHotPathIsAllowed) {
+  // Stream I/O is fine in sim/bench/telemetry code — the rule is scoped to
+  // the per-cycle router/core loop.
+  const LintRun run =
+      run_lint("trigger_iostream_hot_path.cpp", /*sim_state=*/false, /*hot_path=*/false);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
 TEST(Lint, MalformedDirectivesTrigger) {

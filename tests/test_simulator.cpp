@@ -192,17 +192,26 @@ TEST(Simulator, DistributedModeSelfThrottlesUnderCongestion) {
   EXPECT_GT(total_rate, 0.0) << "congested-bit feedback never triggered";
 }
 
-TEST(Simulator, InjectionTraceRecordsPhases) {
-  SimConfig c = small_config();
-  c.record_injection_trace = true;
-  c.injection_trace_bin = 5'000;
-  const auto wl = make_homogeneous_workload("mcf2", 16);  // bursty profile
-  const SimResult r = run_workload(c, wl);
-  ASSERT_EQ(r.injection_trace.size(), 16u);
-  std::uint64_t total = 0;
-  for (const auto& node_bins : r.injection_trace)
-    for (const auto b : node_bins) total += b;
-  EXPECT_EQ(total, r.fabric.flits_injected);
+TEST(Simulator, LatencyHistogramsMatchFabricAccumulators) {
+  const auto wl = make_homogeneous_workload("mcf", 16);
+  const SimResult r = run_workload(small_config(), wl);
+  // Every delivered flit lands in both distributions.
+  EXPECT_EQ(r.latency.net.total(), r.fabric.net_latency.count());
+  EXPECT_EQ(r.latency.total.total(), r.fabric.total_latency.count());
+  ASSERT_GT(r.latency.net.total(), 0u);
+  // Exact extremes agree with the streaming accumulator's.
+  EXPECT_DOUBLE_EQ(r.latency.net.min(), r.fabric.net_latency.min());
+  EXPECT_DOUBLE_EQ(r.latency.net.max(), r.fabric.net_latency.max());
+  // Percentiles are ordered and bracket the mean's neighbourhood.
+  EXPECT_LE(r.latency.net.p50(), r.latency.net.p95());
+  EXPECT_LE(r.latency.net.p95(), r.latency.net.p99());
+  EXPECT_LE(r.latency.net.p99(), r.latency.net.max());
+  // A homogeneous mcf (Heavy) workload puts every classed flit in Heavy;
+  // only Control flits (none here: central CC off) escape classing.
+  std::uint64_t classed = 0;
+  for (const auto& c : r.latency_by_class) classed += c.net.total();
+  EXPECT_EQ(classed, r.latency.net.total());
+  EXPECT_EQ(r.latency_by_class[0].net.total(), r.latency.net.total());
 }
 
 TEST(Simulator, LocalityMappingShortensHops) {

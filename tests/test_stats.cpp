@@ -52,6 +52,59 @@ TEST(StatAccumulator, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+TEST(StatAccumulator, MergeEmptyWithEmptyStaysEmpty) {
+  StatAccumulator a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  // The merged-into-empty accumulator must still work afterwards.
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(StatAccumulator, MergeEmptyIntoNonEmptyPreservesMoments) {
+  StatAccumulator a, empty;
+  for (const double x : {2.0, 4.0, 6.0}) a.add(x);
+  const double mean = a.mean(), var = a.variance();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_DOUBLE_EQ(a.variance(), var);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 12.0);
+}
+
+TEST(StatAccumulator, MergeOfSingleSampleAccumulators) {
+  // Single-sample accumulators have m2 == 0; the pairwise-merge cross term
+  // alone must reconstruct the variance.
+  StatAccumulator a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 1.0);  // population variance of {1, 3}
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+
+  StatAccumulator single, many;
+  single.add(10.0);
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) many.add(x);
+  StatAccumulator all;
+  for (const double x : {10.0, 2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) all.add(x);
+  single.merge(many);
+  EXPECT_EQ(single.count(), all.count());
+  EXPECT_NEAR(single.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(single.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(single.min(), all.min());
+  EXPECT_DOUBLE_EQ(single.max(), all.max());
+}
+
 TEST(SlidingWindowRate, ExactWindowArithmetic) {
   SlidingWindowRate w(4);
   EXPECT_EQ(w.rate(), 0.0);
@@ -125,6 +178,83 @@ TEST(Histogram, CdfMonotone) {
     prev = c;
   }
   EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(Histogram, BucketBoundariesLandInRightBin) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);  // left edge of bin 0
+  h.add(3.0);  // left edge of bin 3
+  h.add(2.9999999);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+  h.add(10.0);  // == hi: clamps into the last bin
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_left(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_left(9), 9.0);
+}
+
+TEST(Histogram, MinMaxAreUnclampedExtremes) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.min(), 0.0);  // empty
+  EXPECT_EQ(h.max(), 0.0);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);  // not the bin edge it clamped to
+  EXPECT_DOUBLE_EQ(h.max(), 42.0);
+}
+
+TEST(Histogram, QuantileInterpolatesLinearlyWithinBin) {
+  // All four samples land in bin [2, 3); quantile must interpolate across
+  // the bin proportionally to the fraction of samples consumed.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 4; ++i) h.add(2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);   // target 0 resolves at lo
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.25);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);   // right edge of the bin
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+}
+
+TEST(Histogram, QuantileOfEmptyIsLo) {
+  Histogram h(5.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, MergeMatchesSingleStream) {
+  Histogram all(0.0, 1.0, 32), left(0.0, 1.0, 32), right(0.0, 1.0, 32);
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.next_double() * 1.2 - 0.1;  // spills past both edges
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.total(), all.total());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  for (int b = 0; b < all.bins(); ++b) {
+    ASSERT_EQ(left.bin_count(b), all.bin_count(b)) << "bin " << b;
+  }
+  EXPECT_DOUBLE_EQ(left.quantile(0.5), all.quantile(0.5));
+  EXPECT_DOUBLE_EQ(left.p99(), all.p99());
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a(0.0, 4.0, 4), empty(0.0, 4.0, 4);
+  a.add(1.5);
+  a.add(3.5);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 1.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 2u);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.5);
+  EXPECT_DOUBLE_EQ(empty.max(), 3.5);
 }
 
 TEST(EmpiricalCdf, QuantilesAndLookup) {

@@ -17,6 +17,16 @@
 namespace nocsim {
 namespace {
 
+/// SweepOptions builder (designated initializers would trip
+/// -Wmissing-field-initializers now that the struct has telemetry fields).
+SweepOptions sweep_opts(int jobs, bool derive_seeds, RunLog* log) {
+  SweepOptions o;
+  o.jobs = jobs;
+  o.derive_seeds = derive_seeds;
+  o.log = log;
+  return o;
+}
+
 /// Small, fast 4x4 configuration (a few ms per run).
 SimConfig tiny_config(std::uint64_t seed) {
   SimConfig c;
@@ -114,8 +124,8 @@ TEST(SweepRunner, MetricsBitIdenticalAcrossJobCounts) {
   ASSERT_GE(points.size(), 16u);
 
   RunLog log1, log8;
-  SweepRunner serial({.jobs = 1, .derive_seeds = true, .log = &log1});
-  SweepRunner parallel({.jobs = 8, .derive_seeds = true, .log = &log8});
+  SweepRunner serial(sweep_opts(1, true, &log1));
+  SweepRunner parallel(sweep_opts(8, true, &log8));
   const std::vector<SimResult> r1 = serial.run(points);
   const std::vector<SimResult> r8 = parallel.run(points);
 
@@ -153,7 +163,7 @@ TEST(SweepRunner, DeriveSeedsFansOutPerPoint) {
   const std::vector<SweepPoint> points = {{c, wl, "p0", {}}, {c, wl, "p1", {}}};
 
   RunLog log;
-  SweepRunner runner({.jobs = 2, .derive_seeds = true, .log = &log});
+  SweepRunner runner(sweep_opts(2, true, &log));
   runner.run(points);
   const std::vector<RunRecord> recs = log.records();
   ASSERT_EQ(recs.size(), 2u);
@@ -173,7 +183,7 @@ TEST(SweepRunner, SharedSeedStreamPairsArms) {
   const std::vector<SweepPoint> points = {{base, wl, "base", 0}, {cc, wl, "cc", 0}};
 
   RunLog log;
-  SweepRunner runner({.jobs = 2, .derive_seeds = true, .log = &log});
+  SweepRunner runner(sweep_opts(2, true, &log));
   runner.run(points);
   const std::vector<RunRecord> recs = log.records();
   ASSERT_EQ(recs.size(), 2u);
@@ -187,7 +197,7 @@ TEST(SweepRunner, DeriveSeedsOffKeepsHandPinnedSeeds) {
   const std::vector<SweepPoint> points = {{tiny_config(123), wl, "a", {}},
                                           {tiny_config(456), wl, "b", {}}};
   RunLog log;
-  SweepRunner runner({.jobs = 2, .derive_seeds = false, .log = &log});
+  SweepRunner runner(sweep_opts(2, false, &log));
   runner.run(points);
   const std::vector<RunRecord> recs = log.records();
   ASSERT_EQ(recs.size(), 2u);
@@ -239,7 +249,7 @@ TEST(RunLog, CsvAndJsonOutput) {
 
 TEST(SweepRunner, RunIndexedFillsSlotsAndLogs) {
   RunLog log;
-  SweepRunner runner({.jobs = 4, .derive_seeds = true, .log = &log});
+  SweepRunner runner(sweep_opts(4, true, &log));
   std::vector<int> slots(20, -1);
   runner.run_indexed(slots.size(), [&](std::size_t i) {
     slots[i] = static_cast<int>(i * i);

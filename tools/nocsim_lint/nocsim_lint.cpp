@@ -24,6 +24,10 @@
 //                     code without an adjacent NOCSIM_CHECK bounds guard
 //   mutable-global    mutable namespace-scope variable in sim-state code
 //                     (cross-run state that survives Simulator construction)
+//   iostream-in-hot-path  std::cout/cerr/clog touched in per-cycle code
+//                     (src/noc, src/core): stream I/O in the router/core loop
+//                     wrecks throughput; route output through a telemetry
+//                     sink (src/telemetry) instead
 //   bad-directive     malformed nocsim-lint control comment
 //
 // Suppression: a finding is silenced only by an inline directive
@@ -47,8 +51,9 @@ namespace fs = std::filesystem;
 
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules = {
-      "unordered-iter", "unordered-member", "raw-entropy",    "wallclock",
-      "pointer-sort",   "narrow-cast",      "mutable-global", "bad-directive",
+      "unordered-iter", "unordered-member", "raw-entropy",
+      "wallclock",      "pointer-sort",     "narrow-cast",
+      "mutable-global", "iostream-in-hot-path", "bad-directive",
   };
   return rules;
 }
@@ -278,6 +283,7 @@ struct RuleContext {
   const std::string& file;
   const Stripped& s;
   bool sim_state = false;  // src/noc, src/sim, src/core, src/cpu (or --sim-state)
+  bool hot_path = false;   // src/noc, src/core (or --hot-path)
   std::vector<Finding>& findings;
 
   void add(std::size_t offset, const std::string& rule, const std::string& message) const {
@@ -560,6 +566,33 @@ void check_narrow_cast(const RuleContext& ctx) {
   }
 }
 
+// --- iostream-in-hot-path --------------------------------------------------
+void check_iostream_hot_path(const RuleContext& ctx) {
+  if (!ctx.hot_path) return;
+  const std::string& code = ctx.s.code;
+  // The router/core per-cycle loop must never touch a stream: one formatted
+  // write per flit turns a ~10 Mcycle/s simulation into console I/O. All
+  // observability flows through the FlitEventSink / TelemetryHub seams
+  // (src/telemetry), which buffer in memory and write at end of run.
+  for (const char* stream : {"cout", "cerr", "clog"}) {
+    const std::string tok = stream;
+    for (std::size_t pos = code.find(tok); pos != std::string::npos;
+         pos = code.find(tok, pos + 1)) {
+      if (!word_at(code, pos, tok)) continue;
+      // Member access (`x.cout`) is not the std stream.
+      if (pos > 0 && (code[pos - 1] == '.' ||
+                      (pos > 1 && code[pos - 1] == '>' && code[pos - 2] == '-'))) {
+        continue;
+      }
+      ctx.add(pos, "iostream-in-hot-path",
+              "std::" + tok +
+                  " in per-cycle code: stream I/O in the router/core loop wrecks "
+                  "throughput; buffer through a telemetry sink (src/telemetry) and "
+                  "write after the run");
+    }
+  }
+}
+
 // --- mutable-global --------------------------------------------------------
 void check_mutable_global(const RuleContext& ctx) {
   if (!ctx.sim_state) return;
@@ -641,13 +674,24 @@ bool path_is_sim_state(const std::string& generic_path) {
   return false;
 }
 
+// The per-cycle simulation kernel: router pipelines and core models. The
+// sim/telemetry layers may stream (end-of-run export, progress reporting);
+// these two may not.
+bool path_is_hot_path(const std::string& generic_path) {
+  for (const char* dir : {"src/noc/", "src/core/"}) {
+    if (generic_path.find(dir) != std::string::npos) return true;
+  }
+  return false;
+}
+
 // rng.hpp is the one sanctioned randomness implementation; it may mention
 // banned identifiers in its own implementation and documentation.
 bool path_is_entropy_impl(const std::string& generic_path) {
   return generic_path.find("src/common/rng.hpp") != std::string::npos;
 }
 
-int lint_file(const fs::path& path, bool force_sim_state, std::vector<Finding>& out) {
+int lint_file(const fs::path& path, bool force_sim_state, bool force_hot_path,
+              std::vector<Finding>& out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "nocsim-lint: cannot read %s\n", path.string().c_str());
@@ -662,11 +706,13 @@ int lint_file(const fs::path& path, bool force_sim_state, std::vector<Finding>& 
   std::vector<Finding> findings;
   const std::map<int, Allow> allows = parse_directives(stripped, display, findings);
 
-  RuleContext ctx{display, stripped, force_sim_state || path_is_sim_state(display), findings};
+  RuleContext ctx{display, stripped, force_sim_state || path_is_sim_state(display),
+                  force_hot_path || path_is_hot_path(display), findings};
   check_unordered(ctx);
   if (!path_is_entropy_impl(display)) check_entropy_and_clocks(ctx);
   check_pointer_sort(ctx);
   check_narrow_cast(ctx);
+  check_iostream_hot_path(ctx);
   check_mutable_global(ctx);
 
   // Apply suppressions: an allow covers its own line and the next line.
@@ -690,8 +736,9 @@ bool lintable(const fs::path& p) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: nocsim_lint [--sim-state] [--list-rules] <file-or-dir>...\n"
+               "usage: nocsim_lint [--sim-state] [--hot-path] [--list-rules] <file-or-dir>...\n"
                "  --sim-state   treat all inputs as sim-state code (fixture testing)\n"
+               "  --hot-path    treat all inputs as per-cycle code (fixture testing)\n"
                "  --list-rules  print rule names and exit\n"
                "exit status: 0 clean, 1 findings, 2 usage/IO error\n");
 }
@@ -700,11 +747,14 @@ void usage() {
 
 int main(int argc, char** argv) {
   bool force_sim_state = false;
+  bool force_hot_path = false;
   std::vector<fs::path> inputs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--sim-state") {
       force_sim_state = true;
+    } else if (arg == "--hot-path") {
+      force_hot_path = true;
     } else if (arg == "--list-rules") {
       for (const std::string& r : known_rules()) std::printf("%s\n", r.c_str());
       return 0;
@@ -741,7 +791,7 @@ int main(int argc, char** argv) {
 
   std::vector<Finding> findings;
   for (const fs::path& f : files) {
-    if (int rc = lint_file(f, force_sim_state, findings); rc != 0) return rc;
+    if (int rc = lint_file(f, force_sim_state, force_hot_path, findings); rc != 0) return rc;
   }
   for (const Finding& f : findings) {
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str());
