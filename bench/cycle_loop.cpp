@@ -1,0 +1,129 @@
+// Cycle-loop macro-benchmark: end-to-end simulated-cycles-per-second of the
+// closed-loop simulator on fig02-style configurations (HM workload mix) at
+// 8x8 and 32x32. This is the repo's perf trajectory anchor: the committed
+// BENCH_cycle_loop.json snapshot is produced by scripts/bench_baseline.sh
+// from this binary, and CI's bench-smoke job fails on >15% regressions
+// against it.
+//
+// Unlike micro_router (google-benchmark, per-component nanoseconds), this
+// measures the full Simulator::step pipeline — fabric, NIs, cores, L2,
+// controller — the quantity that decides how many paper-scale experiments
+// (Figs. 13-16: up to 64x64 meshes, 1e8+ cycles) a machine-day buys.
+//
+// The simulated configuration is a pure function of the flags: before/after
+// comparisons are apples-to-apples as long as --cycles/--reps match.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "sim/simulator.hpp"
+#include "workload/workload.hpp"
+
+namespace nocsim::bench {
+namespace {
+
+struct BenchConfig {
+  std::string name;
+  int side;
+  Cycle warmup;
+  Cycle cycles;  ///< measured cycles per rep
+};
+
+struct BenchResult {
+  BenchConfig cfg;
+  double best_seconds = 0.0;
+  double cycles_per_sec = 0.0;
+};
+
+BenchResult run_config(const BenchConfig& bc, int reps) {
+  SimConfig c;
+  c.width = c.height = bc.side;
+  c.l2_map = bc.side > 8 ? "exponential" : "xor";
+  c.warmup_cycles = bc.warmup;
+  c.measure_cycles = bc.cycles;
+  c.cc_params.epoch = 5'000;
+  c.seed = 1;
+  Rng rng(17);
+  const auto wl = make_category_workload("HM", bc.side * bc.side, rng);
+  Simulator sim(c, wl);
+  sim.run_cycles(bc.warmup);
+
+  BenchResult res{bc, 1e300, 0.0};
+  for (int rep = 0; rep < reps; ++rep) {
+    // nocsim-lint: allow(wallclock): wall time measures the host, it never feeds sim state.
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.run_cycles(bc.cycles);
+    // nocsim-lint: allow(wallclock): wall time measures the host, it never feeds sim state.
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    if (secs < res.best_seconds) res.best_seconds = secs;
+  }
+  res.cycles_per_sec = static_cast<double>(bc.cycles) / res.best_seconds;
+  return res;
+}
+
+void write_json(std::ostream& out, const std::vector<BenchResult>& results, int reps) {
+  out << "{\n";
+  out << "  \"benchmark\": \"cycle_loop\",\n";
+  out << "  \"unit\": \"simulated cycles per wall second (best of reps)\",\n";
+  out << "  \"note\": \"machine-dependent; refresh with scripts/bench_baseline.sh\",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out << "    {\"name\": \"" << r.cfg.name << "\", \"side\": " << r.cfg.side
+        << ", \"measured_cycles\": " << r.cfg.cycles << ", \"wall_seconds\": "
+        << r.best_seconds << ", \"cycles_per_sec\": " << r.cycles_per_sec
+        << ", \"node_cycles_per_sec\": "
+        << r.cycles_per_sec * r.cfg.side * r.cfg.side << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+}
+
+int run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto cycles8 = static_cast<Cycle>(
+      flags.get_int("cycles", 120'000, "measured cycles per rep, 8x8 config"));
+  const auto cycles32 = static_cast<Cycle>(
+      flags.get_int("cycles-32", 6'000, "measured cycles per rep, 32x32 config"));
+  const int reps =
+      static_cast<int>(flags.get_int("reps", 3, "timed repetitions; best is reported"));
+  const bool skip_large =
+      flags.get_bool("skip-32", false, "measure only the 8x8 config (quick check)");
+  const std::string out_path =
+      flags.get_string("out", "", "write the JSON report here instead of stdout");
+  if (flags.finish()) return 0;
+
+  std::vector<BenchConfig> configs = {{"fig02_8x8", 8, 5'000, cycles8}};
+  if (!skip_large) configs.push_back({"fig02_32x32", 32, 2'000, cycles32});
+
+  std::vector<BenchResult> results;
+  for (const BenchConfig& bc : configs) {
+    results.push_back(run_config(bc, reps));
+    std::cerr << "cycle_loop: " << bc.name << " " << results.back().cycles_per_sec
+              << " cycles/s (" << results.back().best_seconds << " s best of " << reps
+              << ")\n";
+  }
+
+  if (out_path.empty()) {
+    write_json(std::cout, results, reps);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cycle_loop: cannot write " << out_path << "\n";
+      return 1;
+    }
+    write_json(out, results, reps);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace nocsim::bench
+
+int main(int argc, char** argv) { return nocsim::bench::run(argc, argv); }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Refresh the committed cycle-loop performance baseline.
+#
+#   scripts/bench_baseline.sh [build-dir]
+#
+# Builds Release (in ./build-bench by default, so an existing debug build is
+# not disturbed), runs the bench/cycle_loop macro-benchmark, and writes
+# BENCH_cycle_loop.json at the repo root. Commit the refreshed file whenever
+# the hot path intentionally changes speed; CI's bench-smoke job compares
+# fresh runs against it (scripts/bench_check.sh) and fails on >15%
+# regressions. Numbers are machine-dependent — refresh on the machine class
+# CI uses, or expect the tolerance to absorb the difference.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build-bench}"
+
+cmake -B "$build" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build" -j --target cycle_loop >/dev/null
+"./$build/bench/cycle_loop" --out BENCH_cycle_loop.json
+echo "Wrote BENCH_cycle_loop.json:"
+cat BENCH_cycle_loop.json

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Compare a fresh cycle_loop run against the committed baseline.
+#
+#   scripts/bench_check.sh <fresh.json> [baseline.json] [max-regress-pct]
+#
+# Fails (exit 1) if any config's cycles_per_sec in <fresh.json> is more than
+# max-regress-pct (default 15) below the committed BENCH_cycle_loop.json.
+# Speedups never fail; they are an invitation to refresh the baseline with
+# scripts/bench_baseline.sh.
+set -euo pipefail
+
+fresh="${1:?usage: bench_check.sh <fresh.json> [baseline.json] [max-regress-pct]}"
+baseline="${2:-$(dirname "$0")/../BENCH_cycle_loop.json}"
+tolerance="${3:-15}"
+
+python3 - "$fresh" "$baseline" "$tolerance" <<'EOF'
+import json, sys
+
+fresh_path, base_path, tol_pct = sys.argv[1], sys.argv[2], float(sys.argv[3])
+fresh = {c["name"]: c for c in json.load(open(fresh_path))["configs"]}
+base = {c["name"]: c for c in json.load(open(base_path))["configs"]}
+
+failed = False
+for name, b in base.items():
+    f = fresh.get(name)
+    if f is None:
+        print(f"bench_check: FAIL {name}: missing from fresh run")
+        failed = True
+        continue
+    ratio = f["cycles_per_sec"] / b["cycles_per_sec"]
+    delta_pct = (ratio - 1.0) * 100.0
+    verdict = "FAIL" if delta_pct < -tol_pct else "ok"
+    print(f"bench_check: {verdict} {name}: {f['cycles_per_sec']:.0f} vs baseline "
+          f"{b['cycles_per_sec']:.0f} cycles/s ({delta_pct:+.1f}%, tolerance -{tol_pct:.0f}%)")
+    failed = failed or delta_pct < -tol_pct
+
+sys.exit(1 if failed else 0)
+EOF

@@ -26,6 +26,9 @@ for b in build/bench/*; do
   if [ "$name" = micro_router ]; then
     # google-benchmark harness: serial by design, no sweep flags.
     "$b" | tee "$out/$name.csv" | grep '^#' | head -4
+  elif [ "$name" = cycle_loop ]; then
+    # wall-clock macro-benchmark: serial by design, no sweep flags.
+    "$b" --out "$out/$name.json"
   else
     "$b" --jobs "$jobs" --run-log "$out/$name" \
       | tee "$out/$name.csv" | grep '^#' | head -4

@@ -81,6 +81,23 @@ class SlidingWindowRate {
     if (filled_ < bits_.size()) ++filled_;
   }
 
+  /// Record k consecutive `false` observations, bit-exactly equivalent to
+  /// calling record(false) k times, in O(min(k, W)) instead of O(k). This is
+  /// the catch-up primitive for callers that batch known-idle periods (the
+  /// simulator's NI fast path replays skipped cycles through it).
+  void record_zeros(std::uint64_t k) {
+    const std::size_t w = bits_.size();
+    if (k < w) {
+      for (std::uint64_t i = 0; i < k; ++i) record(false);
+      return;
+    }
+    // k >= W: every surviving bit is one of the k zeros.
+    std::fill(bits_.begin(), bits_.end(), 0);
+    ones_ = 0;
+    head_ = (head_ + k) % w;
+    filled_ = w;
+  }
+
   /// Fraction of 1s over the last min(W, observations) records; 0 if empty.
   [[nodiscard]] double rate() const {
     return filled_ ? static_cast<double>(ones_) / static_cast<double>(filled_) : 0.0;

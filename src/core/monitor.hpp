@@ -30,6 +30,14 @@ class StarvationMonitor {
     ++observed_cycles_;
   }
 
+  /// Batch form of record(false) x k: k cycles in which the node did not
+  /// even try to inject. Bit-exact with the per-cycle loop; lets the
+  /// simulator skip idle NIs and replay the gap on wake-up.
+  void record_idle(std::uint64_t k) {
+    window_.record_zeros(k);
+    observed_cycles_ += k;
+  }
+
   /// sigma over the last W cycles (the control signal).
   [[nodiscard]] double windowed_rate() const { return window_.rate(); }
 

@@ -1,6 +1,7 @@
 #include "noc/bless_fabric.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace nocsim {
 
@@ -9,7 +10,7 @@ BlessFabric::BlessFabric(const Topology& topo, int router_latency, int link_late
     : Fabric(topo, router_latency, link_latency),
       routing_(routing),
       nodes_(topo.num_nodes()),
-      wheel_(static_cast<std::size_t>(hop_latency_) + 1) {
+      banks_(static_cast<std::size_t>(hop_latency_) + 1) {
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     auto& st = nodes_[n];
     for (int d = 0; d < kNumDirs; ++d) {
@@ -18,62 +19,76 @@ BlessFabric::BlessFabric(const Topology& topo, int router_latency, int link_late
     }
     NOCSIM_CHECK_MSG(st.degree >= 2, "degenerate topology: router with degree < 2");
   }
+  for (LatchBank& b : banks_) {
+    b.latch.resize(static_cast<std::size_t>(topo.num_nodes()));
+    b.valid.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
+    b.active.assign(word_count(topo.num_nodes()), 0);
+  }
+  cur_ = &banks_[0];  // empty network: can_accept is well-defined pre-begin_cycle
 }
 
 void BlessFabric::begin_cycle(Cycle now) {
   NOCSIM_CHECK_MSG(last_begun_ != now, "begin_cycle called twice for one cycle");
   last_begun_ = now;
-
-  // Latch this cycle's arrivals.
-  auto& slot = wheel_[now % wheel_.size()];
-  for (const InFlight& a : slot) {
-    auto& st = nodes_[a.node];
-    NOCSIM_DCHECK((st.latch_valid & (1u << a.port)) == 0);
-    st.latch[a.port] = a.flit;
-    st.latch_valid |= static_cast<std::uint8_t>(1u << a.port);
-  }
-  slot.clear();
-
-  // Decide injection eligibility: through flits (arrivals minus at most one
-  // ejectable) must leave a free output port.
-  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
-    auto& st = nodes_[n];
-    if (st.latch_valid == 0) {
-      st.can_accept = true;
-      continue;
-    }
-    int occupancy = 0;
-    bool has_eject = false;
-    for (int p = 0; p < kNumDirs; ++p) {
-      if (st.latch_valid & (1u << p)) {
-        ++occupancy;
-        if (st.latch[p].dst == n) has_eject = true;
-      }
-    }
-    st.can_accept = (occupancy - (has_eject ? 1 : 0)) < st.degree;
-  }
+  // Arrivals were written in place when they departed; making their bank
+  // current *is* the latching step.
+  cur_ = &banks_[now % banks_.size()];
 }
 
-bool BlessFabric::can_accept(NodeId n) const { return nodes_[n].can_accept; }
+bool BlessFabric::can_accept(NodeId n) const {
+  // Injection eligibility: through flits (arrivals minus at most one
+  // ejectable) must leave a free output port. Computed on demand — only
+  // nodes whose NI actually asks pay for it, and an idle router answers
+  // with a single load.
+  const std::uint8_t lv = cur_->valid[n];
+  if (lv == 0) return true;
+  const auto& latch = cur_->latch[n];
+  bool has_eject = false;
+  for (int p = 0; p < kNumDirs; ++p) {
+    if ((lv & (1u << p)) && latch[p].dst == n) {
+      has_eject = true;
+      break;
+    }
+  }
+  return (std::popcount(lv) - (has_eject ? 1 : 0)) < nodes_[n].degree;
+}
 
 void BlessFabric::step(Cycle now) {
   NOCSIM_CHECK_MSG(last_begun_ == now, "step without matching begin_cycle");
   ++stats_.cycles;
-  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
-    if (nodes_[n].latch_valid != 0 || pending_inject_[n].requested) route_node(now, n);
+  // Visit exactly the routers with latched arrivals or a pending injection,
+  // in ascending node order (bit-scan order == node order), which keeps the
+  // ejection sequence — and with it every order-sensitive accumulator —
+  // identical to a full scan.
+  LatchBank& bank = *cur_;
+  const std::size_t words = bank.active.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = bank.active[w] | inject_words_[w];
+    if (bits == 0) continue;
+    bank.active[w] = 0;
+    inject_words_[w] = 0;
+    do {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      route_node(now, static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+    } while (bits != 0);
   }
 }
 
 void BlessFabric::route_node(Cycle now, NodeId n) {
-  auto& st = nodes_[n];
+  const auto& st = nodes_[n];
 
-  // Gather arrivals; clear latches (every flit present leaves this cycle).
+  // Gather arrivals; clear the latches (every flit present leaves this cycle).
   std::array<Flit, kNumDirs + 1> flits;
   int count = 0;
-  for (int p = 0; p < kNumDirs; ++p) {
-    if (st.latch_valid & (1u << p)) flits[count++] = st.latch[p];
+  const std::uint8_t lv = cur_->valid[n];
+  if (lv != 0) {
+    const auto& latch = cur_->latch[n];
+    for (int p = 0; p < kNumDirs; ++p) {
+      if (lv & (1u << p)) flits[count++] = latch[p];
+    }
+    cur_->valid[n] = 0;
   }
-  st.latch_valid = 0;
 
   // 1. Ejection: oldest flit destined here (width 1).
   int eject_idx = -1;
@@ -117,10 +132,11 @@ void BlessFabric::route_node(Cycle now, NodeId n) {
   }
 
   const bool mark = node_marks(n);
+  LatchBank& out_bank = banks_[(now + static_cast<Cycle>(hop_latency_)) % banks_.size()];
   std::uint8_t taken = 0;  // output-port bitmask
   for (int k = 0; k < count; ++k) {
     Flit& f = flits[order[k]];
-    const RoutePreference pref = topo_.route_preference(n, f.dst);
+    const RoutePreference pref = route_pref(n, f.dst);
     const int desired =
         (routing_ == BlessRouting::StrictXY) ? std::min(pref.count, 1) : pref.count;
     int assigned = -1;
@@ -146,15 +162,23 @@ void BlessFabric::route_node(Cycle now, NodeId n) {
       if (trace_ != nullptr) trace_->on_deflect(now, n, f);
     }
     taken |= static_cast<std::uint8_t>(1u << assigned);
-    (void)productive;
+    if (productive) ++stats_.productive_hops;
 
     ++f.hops;
     ++stats_.flit_hops;
     if (mark) f.congested_bit = true;
     if (trace_ != nullptr) trace_->on_hop(now, n, st.nbr[assigned], f);
-    const Dir out_dir = static_cast<Dir>(assigned);
-    wheel_[(now + static_cast<Cycle>(hop_latency_)) % wheel_.size()].push_back(
-        InFlight{st.nbr[assigned], static_cast<std::uint8_t>(opposite(out_dir)), f});
+
+    // Link traversal: write straight into the downstream router's input
+    // latch in the bank that becomes current at now + hop_latency.
+    const NodeId next = st.nbr[assigned];
+    const auto in_port =
+        static_cast<std::uint8_t>(opposite(static_cast<Dir>(assigned)));
+    NOCSIM_DCHECK((out_bank.valid[next] & (1u << in_port)) == 0);
+    out_bank.latch[next][in_port] = f;
+    out_bank.valid[next] |= static_cast<std::uint8_t>(1u << in_port);
+    out_bank.active[static_cast<std::size_t>(next) >> 6] |=
+        std::uint64_t{1} << (next & 63);
   }
 }
 

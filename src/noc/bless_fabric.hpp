@@ -16,6 +16,13 @@
 // the pipeline are held in a timing wheel and do not contend (at most one
 // flit enters a given link per cycle, so per-port arrival latches never
 // collide).
+//
+// The wheel is a ring of latch banks, one per pipeline phase: a router
+// writes each departing flit straight into the destination router's input
+// latch in the bank that becomes current `hop_latency` cycles later
+// (conflict-free by the one-flit-per-link-per-cycle invariant), so
+// begin_cycle() is a pointer swap and step() walks only the bank's active
+// bitmap — routers without arrivals or injections are never touched.
 #pragma once
 
 #include <array>
@@ -50,24 +57,27 @@ class BlessFabric final : public Fabric {
 
  private:
   struct NodeState {
-    std::array<Flit, kNumDirs> latch;   ///< arrival latches, one per input port
-    std::uint8_t latch_valid = 0;       ///< bitmask over latch[]
-    bool can_accept = false;            ///< computed in begin_cycle
     std::uint8_t degree = 0;            ///< usable neighbour ports
     std::array<NodeId, kNumDirs> nbr{}; ///< neighbour id per port (or kInvalidNode)
   };
 
-  struct InFlight {
-    NodeId node;        ///< arrival router
-    std::uint8_t port;  ///< arrival input port
-    Flit flit;
+  /// One pipeline phase of arrival latches for the whole network. The bank
+  /// at index `cycle % banks_.size()` holds exactly the flits arriving that
+  /// cycle; upstream routers wrote them in place `hop_latency` cycles ago
+  /// (that slot can never alias the writer's own current bank since
+  /// hop_latency % (hop_latency + 1) != 0).
+  struct LatchBank {
+    std::vector<std::array<Flit, kNumDirs>> latch;  ///< [node][input port]
+    std::vector<std::uint8_t> valid;                ///< bitmask over latch[n]
+    std::vector<std::uint64_t> active;              ///< one bit per node with valid != 0
   };
 
   void route_node(Cycle now, NodeId n);
 
   BlessRouting routing_;
   std::vector<NodeState> nodes_;
-  std::vector<std::vector<InFlight>> wheel_;  ///< indexed by cycle % wheel size
+  std::vector<LatchBank> banks_;  ///< ring of hop_latency + 1 phases
+  LatchBank* cur_ = nullptr;      ///< bank for the cycle begun last
   Cycle last_begun_ = ~Cycle{0};
 };
 

@@ -1,6 +1,7 @@
 #include "noc/buffered_fabric.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 
 namespace nocsim {
@@ -9,7 +10,8 @@ BufferedFabric::BufferedFabric(const Topology& topo, int router_latency, int lin
     : Fabric(topo, router_latency, link_latency),
       nodes_(topo.num_nodes()),
       wheel_(static_cast<std::size_t>(hop_latency_) + 1),
-      credit_wheel_(2) {
+      credit_wheel_(2),
+      work_words_(word_count(topo.num_nodes()), 0) {
   torus_ = (topo.name() == "torus");
   // Dateline detection identifies the wrap link by its coordinate jump,
   // which is only distinct from a regular link when each ring has >= 3
@@ -28,7 +30,7 @@ BufferedFabric::BufferedFabric(const Topology& topo, int router_latency, int lin
 
 int BufferedFabric::route_port(NodeId n, NodeId dst) const {
   if (n == dst) return static_cast<int>(Dir::Local);
-  const RoutePreference pref = topo_.route_preference(n, dst);
+  const RoutePreference pref = route_pref(n, dst);
   NOCSIM_DCHECK(pref.count > 0);
   return static_cast<int>(pref.dirs[0]);  // strict XY: x offset consumed first
 }
@@ -60,6 +62,7 @@ void BufferedFabric::begin_cycle(Cycle now) {
     vc.fifo.push_back(a.flit);
     ++nodes_[a.node].flits_buffered;
     ++stats_.buffer_writes;
+    work_words_[static_cast<std::size_t>(a.node) >> 6] |= std::uint64_t{1} << (a.node & 63);
   }
   slot.clear();
 
@@ -125,9 +128,28 @@ void BufferedFabric::step(Cycle now) {
   NOCSIM_CHECK_MSG(last_begun_ == now, "step without matching begin_cycle");
   ++stats_.cycles;
 
-  for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
-    if (pending_inject_[n].requested) accept_injection(now, n);
-    if (nodes_[n].flits_buffered != 0) route_node(now, n);
+  // Visit routers with buffered flits or a pending injection only, in
+  // ascending node order (same order as a full scan, so the ejection
+  // sequence is unchanged). New work can only appear at begin_cycle
+  // (arrivals) or below (injections), so a bit cleared here stays clear for
+  // the rest of the cycle.
+  const std::size_t words = work_words_.size();
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t bits = work_words_[w] | inject_words_[w];
+    if (bits == 0) continue;
+    inject_words_[w] = 0;
+    std::uint64_t still = 0;
+    do {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto n = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+      if (pending_inject_[n].requested) accept_injection(now, n);
+      if (nodes_[n].flits_buffered != 0) {
+        route_node(now, n);
+        if (nodes_[n].flits_buffered != 0) still |= std::uint64_t{1} << (n & 63);
+      }
+    } while (bits != 0);
+    work_words_[w] = still;
   }
 }
 
@@ -153,9 +175,18 @@ void BufferedFabric::route_node(Cycle now, NodeId n) {
   }
   if (num_cands == 0) return;
 
-  // Oldest-first priority over all candidates.
+  // Oldest-first priority over all candidates. older_than() is a strict
+  // total order over distinct in-flight flits (inject cycle, source, packet,
+  // flit index), so the (port, vc) tie-break below is unreachable in
+  // practice — it pins the order anyway so that no std::sort implementation
+  // detail can ever decide a grant, and grant order stays reproducible
+  // across standard libraries.
   std::sort(cands.begin(), cands.begin() + num_cands,
-            [](const Candidate& a, const Candidate& b) { return older_than(*a.flit, *b.flit); });
+            [](const Candidate& a, const Candidate& b) {
+              if (older_than(*a.flit, *b.flit)) return true;
+              if (older_than(*b.flit, *a.flit)) return false;
+              return (a.port << 8 | a.vc) < (b.port << 8 | b.vc);
+            });
 
   // VC allocation (one grant per output port per cycle), then switch
   // allocation (one flit per input port and per output port), in one
@@ -241,6 +272,7 @@ void BufferedFabric::route_node(Cycle now, NodeId n) {
     moving.vc_state = next_vc_state(n, op, moving);
     ++moving.hops;
     ++stats_.flit_hops;
+    ++stats_.productive_hops;  // XY routing: every buffered hop is minimal
     if (node_marks(n)) moving.congested_bit = true;
     const NodeId next = st.nbr[op];
     NOCSIM_CHECK_MSG(next != kInvalidNode, "XY routing chose a missing link");

@@ -120,6 +120,10 @@ class BufferedFabric final : public Fabric {
   std::vector<NodeState> nodes_;
   std::vector<std::vector<LinkArrival>> wheel_;
   std::vector<std::vector<CreditReturn>> credit_wheel_;
+  /// Bitmap over nodes with flits_buffered != 0. Set on arrival delivery;
+  /// a bit survives step() until its router drains, so blocked routers are
+  /// revisited every cycle but empty ones are never scanned.
+  std::vector<std::uint64_t> work_words_;
   Cycle last_begun_ = ~Cycle{0};
 };
 

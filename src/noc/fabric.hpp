@@ -34,6 +34,12 @@ struct FabricStats {
   std::uint64_t flits_ejected = 0;
   std::uint64_t flit_hops = 0;        ///< link traversals
   std::uint64_t deflections = 0;      ///< BLESS misroutes
+  /// Hops through a productive (distance-reducing) port. Every routed hop
+  /// is either productive or a deflection, so flit_hops ==
+  /// productive_hops + deflections holds at all times — a cheap structural
+  /// cross-check on the deflection accounting. On the buffered fabric XY
+  /// routing makes every hop productive (deflections stays 0).
+  std::uint64_t productive_hops = 0;
   std::uint64_t buffer_reads = 0;     ///< buffered fabric only
   std::uint64_t buffer_writes = 0;    ///< buffered fabric only
   StatAccumulator net_latency;        ///< inject -> eject, cycles
@@ -68,8 +74,29 @@ class Fabric {
       : topo_(topo),
         hop_latency_(router_latency + link_latency),
         pending_inject_(topo.num_nodes()),
+        inject_words_(word_count(topo.num_nodes()), 0),
         node_deflections_(static_cast<std::size_t>(topo.num_nodes()), 0) {
     NOCSIM_CHECK(router_latency >= 1 && link_latency >= 1);
+    // Flatten routing into per-(src, dst) tables when they fit: one packed
+    // byte (count + two ports) and one uint16 distance per pair, N^2 entries.
+    // Capped at 16x16 (192 KiB of tables); larger meshes keep the computed
+    // (virtual) path, whose cost amortizes over their bigger per-cycle work.
+    if (topo.num_nodes() <= kRouteTableMaxNodes) {
+      const NodeId n = topo.num_nodes();
+      const auto nn = static_cast<std::size_t>(n);
+      route_tab_.resize(nn * nn);
+      dist_tab_.resize(nn * nn);
+      for (NodeId from = 0; from < n; ++from) {
+        for (NodeId to = 0; to < n; ++to) {
+          const RoutePreference p = topo.route_preference(from, to);
+          const std::size_t i = static_cast<std::size_t>(from) * nn + static_cast<std::size_t>(to);
+          route_tab_[i] = static_cast<std::uint8_t>(
+              (p.count & 3) | (static_cast<int>(p.dirs[0]) << 2) |
+              (static_cast<int>(p.dirs[1]) << 5));
+          dist_tab_[i] = static_cast<std::uint16_t>(topo.distance(from, to));
+        }
+      }
+    }
   }
   virtual ~Fabric() = default;
 
@@ -93,6 +120,7 @@ class Fabric {
     NOCSIM_DCHECK(!pending_inject_[n].requested);
     pending_inject_[n].flit = f;
     pending_inject_[n].requested = true;
+    inject_words_[static_cast<std::size_t>(n) >> 6] |= std::uint64_t{1} << (n & 63);
   }
 
   virtual void step(Cycle now) = 0;
@@ -129,10 +157,42 @@ class Fabric {
   void set_marks_flits(NodeId n, bool marking) { marking_.at(n) = marking; }
 
  protected:
+  /// Largest node count whose route/distance tables are precomputed (16x16).
+  static constexpr NodeId kRouteTableMaxNodes = 256;
+
   struct InjectSlot {
     Flit flit;
     bool requested = false;
   };
+
+  static constexpr std::size_t word_count(NodeId nodes) {
+    return (static_cast<std::size_t>(nodes) + 63) / 64;
+  }
+
+  /// Table-accelerated Topology::route_preference (virtual fallback above
+  /// kRouteTableMaxNodes). Hot: once per flit per hop.
+  [[nodiscard]] RoutePreference route_pref(NodeId from, NodeId to) const {
+    if (!route_tab_.empty()) {
+      const std::uint8_t p =
+          route_tab_[static_cast<std::size_t>(from) * static_cast<std::size_t>(topo_.num_nodes()) +
+                     static_cast<std::size_t>(to)];
+      RoutePreference r;
+      r.count = p & 3;
+      r.dirs[0] = static_cast<Dir>((p >> 2) & 7);
+      r.dirs[1] = static_cast<Dir>((p >> 5) & 7);
+      return r;
+    }
+    return topo_.route_preference(from, to);
+  }
+
+  /// Table-accelerated Topology::distance; hot: once per delivered flit.
+  [[nodiscard]] int hop_distance(NodeId a, NodeId b) const {
+    if (!dist_tab_.empty()) {
+      return dist_tab_[static_cast<std::size_t>(a) * static_cast<std::size_t>(topo_.num_nodes()) +
+                       static_cast<std::size_t>(b)];
+    }
+    return topo_.distance(a, b);
+  }
 
   void eject(Cycle now, NodeId at, Flit& f) {
     ++stats_.flits_ejected;
@@ -141,7 +201,7 @@ class Fabric {
     stats_.hops_per_flit.add(static_cast<double>(f.hops));
     stats_.deflections_per_flit.add(static_cast<double>(f.deflections));
     stats_.flit_hops_delivered += f.hops;
-    stats_.min_hops_total += static_cast<std::uint64_t>(topo_.distance(f.src, f.dst));
+    stats_.min_hops_total += static_cast<std::uint64_t>(hop_distance(f.src, f.dst));
     if (trace_ != nullptr) trace_->on_eject(now, at, f);
     if (sink_) sink_(at, f);
   }
@@ -153,6 +213,12 @@ class Fabric {
   const Topology& topo_;
   const int hop_latency_;  ///< cycles from one router's input latch to the next's
   std::vector<InjectSlot> pending_inject_;
+  /// Bitmap over nodes with a pending injection request; fabrics OR it into
+  /// their arrival worklist in step() (and clear the consumed words) so an
+  /// inject-only router is still visited without scanning every node.
+  std::vector<std::uint64_t> inject_words_;
+  std::vector<std::uint8_t> route_tab_;   ///< packed RoutePreference, or empty
+  std::vector<std::uint16_t> dist_tab_;   ///< hop distances, or empty
   FabricStats stats_;
   EjectSink sink_;
   FlitEventSink* trace_ = nullptr;     ///< null = tracing off (fast path)

@@ -1,0 +1,63 @@
+// FlitRing: the NI queue container.
+//
+// A FIFO of flits backed by a power-of-two ring. The steady-state hot path
+// (push_back / front / pop_front) is allocation-free and indexes with one
+// mask, where std::deque pays a chunk-map indirection per access and an
+// allocation on every empty -> non-empty transition. Capacity doubles on
+// overflow — a home slice's response backlog under congestion is unbounded
+// in principle, so a hard cap would turn overload into a crash; in steady
+// state the ring never reallocates.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "noc/flit.hpp"
+
+namespace nocsim {
+
+class FlitRing {
+ public:
+  explicit FlitRing(std::size_t min_capacity = 16) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  [[nodiscard]] const Flit& front() const {
+    NOCSIM_DCHECK(count_ > 0);
+    return slots_[head_];
+  }
+
+  void push_back(const Flit& f) {
+    if (count_ == slots_.size()) grow();
+    slots_[(head_ + count_) & (slots_.size() - 1)] = f;
+    ++count_;
+  }
+
+  void pop_front() {
+    NOCSIM_DCHECK(count_ > 0);
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --count_;
+  }
+
+ private:
+  void grow() {
+    std::vector<Flit> bigger(slots_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i)
+      bigger[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<Flit> slots_;  ///< size is always a power of two
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace nocsim

@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <bit>
+
 #include "cpu/file_trace.hpp"
 #include "noc/bless_fabric.hpp"
 #include "noc/buffered_fabric.hpp"
@@ -92,13 +94,35 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
     cores_[i]->prewarm(config_.prewarm_instructions);
   }
 
+  ni_work_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
   l2_wheel_.resize(config_.l2_latency + 1);
   telemetry_.resize(n);
   staged_rates_.assign(n, 0.0);
   epoch_ipf_.resize(n);
 }
 
-void Simulator::enqueue_packet(std::deque<Flit>& q, NodeId src, NodeId dst, PacketKind kind,
+void Simulator::sync_ni(NodeId n, Cycle upto) {
+  Ni& ni = nis_[n];
+  if (ni.synced_to >= upto) return;
+  const Cycle k = upto - ni.synced_to;
+  ni.starvation.record_idle(k);
+  ni.starvation_net.record_idle(k);
+  if (measuring_) {
+    // The rate is constant across the gap (set_rate sites all sync first).
+    // One add per cycle — k * r would round differently; the per-cycle sum
+    // must stay bit-exact with the eager path.
+    const double r = ni.throttler.rate();
+    for (Cycle c = 0; c < k; ++c) ni.rate_integral += r;
+  }
+  ni.synced_to = upto;
+}
+
+void Simulator::wake_ni(NodeId n, Cycle upto) {
+  sync_ni(n, upto);
+  ni_work_[static_cast<std::size_t>(n) >> 6] |= std::uint64_t{1} << (n & 63);
+}
+
+void Simulator::enqueue_packet(FlitRing& q, NodeId src, NodeId dst, PacketKind kind,
                                Addr addr, int len, PacketSeq seq) {
   for (int i = 0; i < len; ++i) {
     Flit f;
@@ -123,6 +147,9 @@ void Simulator::on_miss(NodeId n, Addr block) {
     return;
   }
   Ni& ni = nis_[n];
+  // on_miss fires from the core step, after this cycle's injection loop: if
+  // the NI was asleep, cycle now_ itself was still an idle (skipped) cycle.
+  wake_ni(n, now_ + 1);
   enqueue_packet(ni.request_q, n, home, PacketKind::Request, block, config_.request_flits,
                  ni.next_seq++);
   // IPF flit attribution (§4): requests the app injects + responses
@@ -169,7 +196,10 @@ void Simulator::on_packet(NodeId at, const Flit& header) {
       break;
     case PacketKind::Control:
       if (at != config_.controller_node) {
-        // Rate-setting packet arrived: adopt the staged rate.
+        // Rate-setting packet arrived: adopt the staged rate. Cycles up to
+        // and including now_ ran under the old rate — replay them before
+        // the change (the fabric steps after the injection loop).
+        sync_ni(at, now_ + 1);
         nis_[at].throttler.set_rate(staged_rates_[at]);
       }
       // Report packets reaching the controller carry telemetry the central
@@ -187,6 +217,9 @@ void Simulator::deliver_l2(Cycle now) {
       continue;
     }
     Ni& home_ni = nis_[p.home];
+    // deliver_l2 runs before this cycle's injection loop: the woken NI will
+    // be processed for now_ itself, so replay only the cycles before it.
+    wake_ni(p.home, now);
     enqueue_packet(home_ni.response_q, p.home, p.requester, PacketKind::Response, p.block,
                    config_.response_flits, home_ni.next_seq++);
   }
@@ -195,6 +228,8 @@ void Simulator::deliver_l2(Cycle now) {
 
 void Simulator::ni_inject(NodeId n) {
   Ni& ni = nis_[n];
+  NOCSIM_DCHECK(ni.synced_to == now_);
+  ni.synced_to = now_ + 1;
 
   if (distributed_) {
     const double r = distributed_->rate(n, now_);
@@ -207,6 +242,9 @@ void Simulator::ni_inject(NodeId n) {
   if (!has_response && !has_request) {
     ni.starvation.record(false);
     ni.starvation_net.record(false);
+    // Drained: go to sleep. sync_ni replays the idle cycles on wake-up.
+    // Under distributed CC the worklist is unused (full scan every cycle).
+    ni_work_[static_cast<std::size_t>(n) >> 6] &= ~(std::uint64_t{1} << (n & 63));
     return;
   }
   // Network-admission starvation: wants to inject but the router has no
@@ -264,6 +302,10 @@ void Simulator::ni_inject(NodeId n) {
 
 void Simulator::epoch_update() {
   const int n = config_.num_nodes();
+  // The epoch boundary observes every NI (sigma windows) and may change
+  // every rate: bring sleeping NIs up to date first. Runs after the
+  // injection loop, so cycle now_ is part of the replayed gap.
+  for (NodeId i = 0; i < n; ++i) sync_ni(i, now_ + 1);
   for (NodeId i = 0; i < n; ++i) {
     Ni& ni = nis_[i];
     const std::uint64_t retired = cores_[i] ? cores_[i]->epoch_retired() : 0;
@@ -300,18 +342,33 @@ void Simulator::epoch_update() {
   nis_[ctrl].throttler.set_rate(staged_rates_[ctrl]);
   for (NodeId i = 0; i < n; ++i) {
     if (i == ctrl) continue;
+    wake_ni(i, now_ + 1);  // already synced above; (re)arm the worklist bit
     enqueue_packet(nis_[i].response_q, i, ctrl, PacketKind::Control, 0, 1,
                    nis_[i].next_seq++);
     enqueue_packet(nis_[ctrl].response_q, ctrl, i, PacketKind::Control, 0, 1,
                    nis_[ctrl].next_seq++);
   }
+  wake_ni(ctrl, now_ + 1);
 }
 
 void Simulator::step() {
   fabric_->begin_cycle(now_);
   deliver_l2(now_);
   const int n = config_.num_nodes();
-  for (NodeId i = 0; i < n; ++i) ni_inject(i);
+  if (distributed_) {
+    // Per-cycle rate updates: every NI-cycle is observable, no skipping.
+    for (NodeId i = 0; i < n; ++i) ni_inject(i);
+  } else {
+    // Only NIs with queued flits; sleeping NIs are replayed on wake-up.
+    for (std::size_t w = 0; w < ni_work_.size(); ++w) {
+      std::uint64_t bits = ni_work_[w];
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        ni_inject(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+      }
+    }
+  }
   fabric_->step(now_);
   for (NodeId i = 0; i < n; ++i) {
     if (cores_[i]) cores_[i]->step(now_);
@@ -320,7 +377,11 @@ void Simulator::step() {
   // Sample after epoch_update so an epoch-cadence row carries the values the
   // controller consumed (sigma, IPF) and produced (rates, congested flag)
   // *this* cycle. Null hub = one pointer test per cycle.
-  if (hub_ != nullptr && (now_ + 1) % hub_period_ == 0) hub_->sample(now_);
+  if (hub_ != nullptr && (now_ + 1) % hub_period_ == 0) {
+    // Gauges read sigma windows and counters of every NI directly.
+    for (NodeId i = 0; i < n; ++i) sync_ni(i, now_ + 1);
+    hub_->sample(now_);
+  }
   if (distributed_ && (now_ + 1) % config_.dist_params.mark_update_period == 0) {
     for (NodeId i = 0; i < n; ++i) {
       fabric_->set_marks_flits(i,
@@ -335,6 +396,10 @@ void Simulator::run_cycles(Cycle cycles) {
 }
 
 void Simulator::begin_measurement() {
+  // Flush lazy NI bookkeeping before the lifetime counters reset; skipped
+  // segments must never straddle the measuring_ flip (sync_ni applies the
+  // current flag to a whole gap).
+  for (NodeId i = 0; i < config_.num_nodes(); ++i) sync_ni(i, now_);
   measuring_ = true;
   measure_start_ = now_;
   fabric_->reset_stats();
@@ -361,6 +426,7 @@ SimResult Simulator::run() {
 }
 
 SimResult Simulator::collect(Cycle measured_cycles) {
+  for (NodeId i = 0; i < config_.num_nodes(); ++i) sync_ni(i, now_);
   SimResult result;
   result.cycles = measured_cycles;
   result.fabric = fabric_->stats();

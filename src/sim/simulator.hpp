@@ -16,7 +16,6 @@
 //      rates from (IPF, sigma) telemetry.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -28,6 +27,7 @@
 #include "cpu/core.hpp"
 #include "cpu/l2map.hpp"
 #include "noc/fabric.hpp"
+#include "noc/flit_ring.hpp"
 #include "noc/reassembly.hpp"
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
@@ -68,14 +68,18 @@ class Simulator {
   [[nodiscard]] const Core* core(NodeId n) const { return cores_[n].get(); }
   [[nodiscard]] double throttle_rate(NodeId n) const { return nis_[n].throttler.rate(); }
   [[nodiscard]] double starvation_window_rate(NodeId n) const {
+    // An idle NI may be behind on its monitors (see sync_ni); replay the
+    // skipped cycles before reading. Logically const: the replayed state is
+    // exactly what eager per-cycle recording would have produced.
+    const_cast<Simulator*>(this)->sync_ni(n, now_);
     return nis_[n].starvation.windowed_rate();
   }
 
  private:
   struct Ni {
     explicit Ni(ReassemblyTable::PacketSink sink) : reassembly(std::move(sink)) {}
-    std::deque<Flit> request_q;
-    std::deque<Flit> response_q;  ///< responses + control traffic; never throttled
+    FlitRing request_q;
+    FlitRing response_q;  ///< responses + control traffic; never throttled
     ReassemblyTable reassembly;
     InjectionThrottler throttler;
     StarvationMonitor starvation{128};      ///< Algorithm 2 sigma (gate blocks count)
@@ -87,6 +91,10 @@ class Simulator {
     std::uint64_t measure_flits = 0;  ///< flits attributed in the measurement window
     double rate_integral = 0.0;       ///< sum of applied throttle rate per cycle
     std::uint64_t injected_flits = 0; ///< flits injected, lifetime (telemetry counter)
+    /// First cycle whose per-cycle bookkeeping (starvation bits, rate
+    /// integral) has not been applied yet. While both queues are empty the
+    /// NI is skipped and this lags now_; sync_ni replays the gap bit-exactly.
+    Cycle synced_to = 0;
   };
 
   /// A serviced request waiting out the L2 latency.
@@ -98,8 +106,15 @@ class Simulator {
 
   void step();
   void ni_inject(NodeId n);
-  void enqueue_packet(std::deque<Flit>& q, NodeId src, NodeId dst, PacketKind kind, Addr addr,
+  void enqueue_packet(FlitRing& q, NodeId src, NodeId dst, PacketKind kind, Addr addr,
                       int len, PacketSeq seq);
+  /// Replay the idle cycles [synced_to, upto) of NI n: both queues were
+  /// empty, so each skipped cycle recorded starvation=false on both monitors
+  /// and (while measuring) accrued the unchanged throttle rate. Bit-exact
+  /// with having run ni_inject every cycle.
+  void sync_ni(NodeId n, Cycle upto);
+  /// sync_ni + put n back on the NI worklist (a queue became non-empty).
+  void wake_ni(NodeId n, Cycle upto);
   void on_miss(NodeId n, Addr block);
   void on_flit_ejected(NodeId at, const Flit& f);
   void on_packet(NodeId at, const Flit& header);
@@ -118,6 +133,11 @@ class Simulator {
 
   std::vector<std::unique_ptr<Core>> cores_;  ///< null entry = idle node
   std::vector<Ni> nis_;
+  /// Bitmap over NIs with a non-empty queue: the step() injection loop walks
+  /// only these. Disabled (full scan) under distributed CC, whose per-cycle
+  /// rate updates make every NI-cycle observable. Bits are set by wake_ni
+  /// and cleared by ni_inject when a node's queues drain.
+  std::vector<std::uint64_t> ni_work_;
   std::vector<std::vector<PendingL2>> l2_wheel_;
 
   std::vector<NodeTelemetry> telemetry_;

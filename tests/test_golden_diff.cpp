@@ -1,0 +1,95 @@
+// Differential golden tests for the cycle-loop hot path.
+//
+// The checksums below were captured from the straightforward (scan every
+// router, std::deque NI queues, per-arrival event-wheel vectors)
+// implementation of the per-cycle loop, *before* the active-worklist /
+// flat-wheel / route-table optimization. Any optimization of the hot path
+// must reproduce these three runs byte-for-byte: the optimized simulator
+// is required to be a faster implementation of the same function, not a
+// slightly different simulator.
+//
+// If a checksum mismatches, set NOCSIM_GOLDEN_DUMP=<dir> to write the full
+// serialized metric text to <dir>/<case>.golden.txt and diff against a
+// known-good build. Only re-pin a checksum for an *intentional* semantic
+// change, never to make an optimization pass.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "golden_util.hpp"
+#include "sim/experiment.hpp"
+
+namespace nocsim {
+namespace {
+
+using testutil::fnv1a;
+using testutil::serialize_result;
+
+struct GoldenCase {
+  const char* name;
+  std::uint64_t checksum;
+};
+
+SimResult run_case(const std::string& name) {
+  SimConfig c;
+  c.warmup_cycles = 5'000;
+  c.measure_cycles = 20'000;
+  c.cc_params.epoch = 5'000;
+  c.seed = 1;
+  WorkloadSpec wl;
+  if (name == "fig02_bless") {
+    // Figure 2 (a)/(b) style: 4x4 FLIT-BLESS, balanced heavy/medium mix.
+    Rng rng(17);
+    wl = make_category_workload("HM", 16, rng);
+  } else if (name == "buffered_baseline") {
+    // The paper's buffered comparison point, same workload family.
+    c.router = RouterKind::Buffered;
+    c.seed = 2;
+    Rng rng(48);
+    wl = make_category_workload("HM", 16, rng);
+  } else if (name == "throttled_hotspot") {
+    // Figure 2 (c) style: network-heavy bursty mix under the verbatim
+    // Algorithm 3 static gate — exercises the throttler + starvation path.
+    c.cc = CcMode::Static;
+    c.static_rate = 0.4;
+    c.randomized_throttle_gate = false;
+    c.record_epoch_ipf = true;
+    c.seed = 3;
+    wl.category = "bursty-H";
+    const char* apps[4] = {"matlab", "art.ref.train", "mcf2", "sphinx3"};
+    for (int i = 0; i < 16; ++i) wl.app_names.push_back(apps[i % 4]);
+  } else {
+    ADD_FAILURE() << "unknown golden case " << name;
+  }
+  return run_workload(c, wl);
+}
+
+class GoldenDiff : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenDiff, MetricsMatchPreOptimizationSnapshot) {
+  const GoldenCase& gc = GetParam();
+  const SimResult r = run_case(gc.name);
+  const std::string text = serialize_result(r);
+  const std::uint64_t sum = fnv1a(text);
+
+  if (const char* dump_dir = std::getenv("NOCSIM_GOLDEN_DUMP")) {
+    const std::string path = std::string(dump_dir) + "/" + gc.name + ".golden.txt";
+    std::ofstream out(path);
+    out << text;
+  }
+  EXPECT_EQ(sum, gc.checksum)
+      << "golden checksum mismatch for '" << gc.name << "': actual 0x" << std::hex << sum
+      << " — the hot path no longer reproduces the pre-optimization metrics. "
+      << "Set NOCSIM_GOLDEN_DUMP=<dir> and diff the serialized runs.";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Snapshots, GoldenDiff,
+    ::testing::Values(GoldenCase{"fig02_bless", 0x624ed3e696cab0efULL},
+                      GoldenCase{"buffered_baseline", 0x204aafecc685a5dbULL},
+                      GoldenCase{"throttled_hotspot", 0xd5a6cb062829c977ULL}),
+    [](const auto& inf) { return std::string(inf.param.name); });
+
+}  // namespace
+}  // namespace nocsim
