@@ -16,6 +16,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.hpp"
@@ -29,7 +30,8 @@ struct BenchConfig {
   std::string name;
   int side;
   Cycle warmup;
-  Cycle cycles;  ///< measured cycles per rep
+  Cycle cycles;    ///< measured cycles per rep
+  int shards = 1;  ///< intra-run tiles (1 = serial loop)
 };
 
 struct BenchResult {
@@ -46,6 +48,7 @@ BenchResult run_config(const BenchConfig& bc, int reps) {
   c.measure_cycles = bc.cycles;
   c.cc_params.epoch = 5'000;
   c.seed = 1;
+  c.shards = bc.shards;
   Rng rng(17);
   const auto wl = make_category_workload("HM", bc.side * bc.side, rng);
   Simulator sim(c, wl);
@@ -69,12 +72,16 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results, int 
   out << "{\n";
   out << "  \"benchmark\": \"cycle_loop\",\n";
   out << "  \"unit\": \"simulated cycles per wall second (best of reps)\",\n";
-  out << "  \"note\": \"machine-dependent; refresh with scripts/bench_baseline.sh\",\n";
+  out << "  \"note\": \"machine-dependent; refresh with scripts/bench_baseline.sh. "
+         "Sharded (_shN) configs only beat serial with >= N physical cores; on a "
+         "single-core host they price the barrier overhead instead.\",\n";
+  out << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"reps\": " << reps << ",\n";
   out << "  \"configs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     out << "    {\"name\": \"" << r.cfg.name << "\", \"side\": " << r.cfg.side
+        << ", \"shards\": " << r.cfg.shards
         << ", \"measured_cycles\": " << r.cfg.cycles << ", \"wall_seconds\": "
         << r.best_seconds << ", \"cycles_per_sec\": " << r.cycles_per_sec
         << ", \"node_cycles_per_sec\": "
@@ -90,9 +97,13 @@ int run(int argc, char** argv) {
   const auto cycles8 = static_cast<Cycle>(
       flags.get_int("cycles", 120'000, "measured cycles per rep, 8x8 config"));
   const auto cycles32 = static_cast<Cycle>(
-      flags.get_int("cycles-32", 6'000, "measured cycles per rep, 32x32 config"));
+      flags.get_int("cycles-32", 6'000, "measured cycles per rep, 32x32 configs"));
+  const auto cycles64 = static_cast<Cycle>(
+      flags.get_int("cycles-64", 1'500, "measured cycles per rep, 64x64 configs"));
   const int reps =
       static_cast<int>(flags.get_int("reps", 3, "timed repetitions; best is reported"));
+  const int shards = static_cast<int>(
+      flags.get_int("shards", 4, "tiles for the sharded 32x32/64x64 variants"));
   const bool skip_large =
       flags.get_bool("skip-32", false, "measure only the 8x8 config (quick check)");
   const std::string out_path =
@@ -100,7 +111,15 @@ int run(int argc, char** argv) {
   if (flags.finish()) return 0;
 
   std::vector<BenchConfig> configs = {{"fig02_8x8", 8, 5'000, cycles8}};
-  if (!skip_large) configs.push_back({"fig02_32x32", 32, 2'000, cycles32});
+  if (!skip_large) {
+    // Serial and sharded variants of each large mesh: same simulated
+    // function (byte-identical results), so the pair directly prices the
+    // sharding overhead/speedup on this host's core count.
+    configs.push_back({"fig02_32x32", 32, 2'000, cycles32});
+    configs.push_back({"fig02_32x32_sh" + std::to_string(shards), 32, 2'000, cycles32, shards});
+    configs.push_back({"fig02_64x64", 64, 1'000, cycles64});
+    configs.push_back({"fig02_64x64_sh" + std::to_string(shards), 64, 1'000, cycles64, shards});
+  }
 
   std::vector<BenchResult> results;
   for (const BenchConfig& bc : configs) {

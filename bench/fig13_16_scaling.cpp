@@ -27,6 +27,7 @@ int run(int argc, char** argv) {
       flags.get_int("cycles", 150'000, "measured cycles at 4x4 (shrinks with size)"));
   const std::string category =
       flags.get_string("category", "H", "workload category (paper: high intensity)");
+  const int shards = get_shards(flags);
   SweepContext sweep(flags);
   if (flags.finish()) return 0;
 
@@ -38,6 +39,7 @@ int run(int argc, char** argv) {
     const auto wl = make_category_workload(category, side * side, rng);
     for (const std::string& arch : archs()) {
       SimConfig c = scaling_config(side, measure);
+      c.shards = shards;  // byte-identical for any value; speeds up big meshes
       if (arch == "BLESS-Throttling") c.cc = CcMode::Central;
       if (arch == "BLESS-Throttling-NoEsc") {
         // Ablation: the paper's mechanism verbatim, without our hop-inflation

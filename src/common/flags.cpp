@@ -98,4 +98,10 @@ int get_jobs(Flags& flags) {
   return hw ? static_cast<int>(hw) : 1;
 }
 
+int get_shards(Flags& flags) {
+  const auto n = flags.get_int(
+      "shards", 1, "intra-run worker tiles per simulation (results identical for any value)");
+  return n > 1 ? static_cast<int>(n) : 1;
+}
+
 }  // namespace nocsim

@@ -47,4 +47,10 @@ class Flags {
 /// hardware threads"; the returned value is always >= 1.
 int get_jobs(Flags& flags);
 
+/// The standard `--shards` flag for binaries that run whole simulations:
+/// row-strip tiles (worker threads) *inside* each simulation. Results are
+/// byte-identical for every value; 1 (the default) is the serial cycle
+/// loop. Composes with --jobs — total threads ~= jobs * shards.
+int get_shards(Flags& flags);
+
 }  // namespace nocsim

@@ -104,7 +104,18 @@ class Rng {
   std::uint64_t next_geometric(double p) {
     NOCSIM_DCHECK(p > 0 && p <= 1);
     if (p >= 1.0) return 0;
-    return static_cast<std::uint64_t>(std::log(1.0 - next_double()) / std::log(1.0 - p));
+    // Draw before any early-out so the stream advances identically for
+    // every p — callers interleave draws across distributions.
+    const double num = std::log(1.0 - next_double());
+    const double denom = std::log(1.0 - p);
+    // Largest double below 2^64; casting a double >= 2^64 to uint64 is UB
+    // (UBSan float-cast-overflow). Tiny p can push the quotient past that:
+    // below ~1.1e-16, 1-p rounds to 1.0, denom becomes -0.0, and the
+    // quotient is -inf/+inf territory. Saturate instead.
+    constexpr double kMaxCastable = 18446744073709549568.0;  // 2^64 - 2^11
+    if (denom == 0.0) return static_cast<std::uint64_t>(kMaxCastable);
+    const double q = num / denom;
+    return static_cast<std::uint64_t>(q < kMaxCastable ? q : kMaxCastable);
   }
 
   /// Pareto (power-law) sample >= xm with tail index alpha.

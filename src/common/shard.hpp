@@ -1,0 +1,89 @@
+// Spatial tile partition for intra-run sharding of the cycle loop.
+//
+// A width x height mesh is split into horizontal row strips — with node ids
+// assigned as y*width + x, each strip is a contiguous node-id range. That
+// contiguity is what makes sharded runs bit-identical to serial ones: any
+// per-node event stream concatenated in ascending tile order equals the
+// global ascending-node-order stream the serial loop produces, so
+// order-sensitive reductions (Welford accumulators, wheel push order) can be
+// buffered per tile and replayed serially in tile order with no behavioural
+// drift.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace nocsim {
+
+class ShardPlan {
+ public:
+  /// Half-open node-id range [lo, hi) owned by one tile.
+  struct TileRange {
+    int lo;
+    int hi;
+  };
+
+  ShardPlan(int width, int height, int shards) {
+    NOCSIM_CHECK(width > 0 && height > 0 && shards >= 1);
+    const int nodes = width * height;
+    // One worker per row strip; more shards than rows would leave empty
+    // tiles, so cap at the row count.
+    const int t = std::min(shards, height);
+    tiles_.reserve(static_cast<std::size_t>(t));
+    for (int i = 0; i < t; ++i) {
+      const int row_lo = i * height / t;
+      const int row_hi = (i + 1) * height / t;
+      tiles_.push_back(TileRange{row_lo * width, row_hi * width});
+    }
+    node_tile_.resize(static_cast<std::size_t>(nodes));
+    for (int i = 0; i < t; ++i) {
+      for (int n = tiles_[static_cast<std::size_t>(i)].lo;
+           n < tiles_[static_cast<std::size_t>(i)].hi; ++n) {
+        node_tile_[static_cast<std::size_t>(n)] = static_cast<std::uint8_t>(i);
+      }
+    }
+    const std::size_t words = (static_cast<std::size_t>(nodes) + 63) / 64;
+    masks_.assign(tiles_.size(), std::vector<std::uint64_t>(words, 0));
+    for (std::size_t i = 0; i < tiles_.size(); ++i) {
+      for (int n = tiles_[i].lo; n < tiles_[i].hi; ++n) {
+        masks_[i][static_cast<std::size_t>(n) / 64] |= 1ULL << (static_cast<std::size_t>(n) % 64);
+      }
+    }
+  }
+
+  [[nodiscard]] int tiles() const { return static_cast<int>(tiles_.size()); }
+  [[nodiscard]] TileRange range(int t) const { return tiles_[static_cast<std::size_t>(t)]; }
+  [[nodiscard]] int tile_of(int node) const {
+    return node_tile_[static_cast<std::size_t>(node)];
+  }
+  [[nodiscard]] bool owns(int t, int node) const {
+    return node >= tiles_[static_cast<std::size_t>(t)].lo &&
+           node < tiles_[static_cast<std::size_t>(t)].hi;
+  }
+
+  /// First / one-past-last 64-bit bitmap word a tile's nodes touch. Boundary
+  /// words are shared with neighbouring tiles (a 4x4 mesh split 4 ways has
+  /// all tiles in word 0), which is why sharded bitmap updates go through
+  /// std::atomic_ref.
+  [[nodiscard]] std::size_t word_lo(int t) const {
+    return static_cast<std::size_t>(tiles_[static_cast<std::size_t>(t)].lo) / 64;
+  }
+  [[nodiscard]] std::size_t word_hi(int t) const {
+    return (static_cast<std::size_t>(tiles_[static_cast<std::size_t>(t)].hi) + 63) / 64;
+  }
+  /// Bits of word w that belong to tile t (0 outside [word_lo, word_hi)).
+  [[nodiscard]] std::uint64_t word_mask(int t, std::size_t w) const {
+    return masks_[static_cast<std::size_t>(t)][w];
+  }
+
+ private:
+  std::vector<TileRange> tiles_;
+  std::vector<std::uint8_t> node_tile_;
+  std::vector<std::vector<std::uint64_t>> masks_;  ///< [tile][word] ownership bits
+};
+
+}  // namespace nocsim

@@ -129,10 +129,16 @@ class Histogram {
   }
 
   void add(double x) {
+    // Clamp in the double domain *before* the integer cast: for samples far
+    // outside [lo, hi) — or ±infinity — the scaled value can exceed the
+    // int64 range, and a float→int cast whose value doesn't fit is UB
+    // (UBSan float-cast-overflow). For in-range samples the truncation is
+    // unchanged. NaN compares false against both bounds and lands in bin 0.
     const double t = (x - lo_) / (hi_ - lo_);
-    auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
-    idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
-    ++counts_[static_cast<std::size_t>(idx)];
+    const double scaled = t * static_cast<double>(counts_.size());
+    const double top = static_cast<double>(counts_.size() - 1);
+    const double clamped = scaled > top ? top : (scaled > 0.0 ? scaled : 0.0);
+    ++counts_[static_cast<std::size_t>(clamped)];
     ++total_;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);

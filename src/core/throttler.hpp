@@ -46,6 +46,10 @@ class InjectionThrottler {
     // epoch — leave the counter free-running, as the hardware would.
     if (rate != rate_) count_ = 0;
     rate_ = rate;
+    // Truncation is intentional and matches the 7-bit hardware: rates just
+    // below 1 floor to threshold 127 (one allowed attempt per wrap), while
+    // rate == 1.0 yields threshold 128 — above every counter value, so all
+    // attempts block. The realized block fraction is floor(rate*128)/128.
     threshold_ = static_cast<std::uint32_t>(rate * kMaxCount);
   }
 
@@ -58,8 +62,12 @@ class InjectionThrottler {
     if (gate_ == Gate::Randomized) {
       allowed = !rng_.next_bool(rate_);
     } else {
-      count_ = (count_ + 1) % kMaxCount;
+      // Compare before advancing: attempts 0..threshold_-1 of each wrap are
+      // the blocked ones, forming a contiguous leading run — Algorithm 3's
+      // "block the first rate*128 attempts". (Increment-then-compare would
+      // strand the count_ == 0 block at the *end* of each wrap.)
       allowed = count_ >= threshold_;
+      count_ = (count_ + 1) % kMaxCount;
     }
     if (!allowed) ++blocked_;
     return allowed;

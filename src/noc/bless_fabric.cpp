@@ -1,6 +1,7 @@
 #include "noc/bless_fabric.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
 namespace nocsim {
@@ -70,13 +71,70 @@ void BlessFabric::step(Cycle now) {
     do {
       const int b = std::countr_zero(bits);
       bits &= bits - 1;
-      route_node(now, static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+      route_node<false>(now, static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)), 0);
     } while (bits != 0);
   }
 }
 
-void BlessFabric::route_node(Cycle now, NodeId n) {
+void BlessFabric::set_shard_plan(const ShardPlan* plan) {
+  Fabric::set_shard_plan(plan);
+  halo_.clear();
+  if (plan != nullptr) {
+    const auto t = static_cast<std::size_t>(plan->tiles());
+    halo_.assign(t, std::vector<std::vector<HaloWrite>>(t));
+  }
+}
+
+void BlessFabric::shard_route(Cycle now, int tile) {
+  // Same worklist walk as step(), restricted to this tile's bits. Boundary
+  // words are shared between tiles, so loads and clears go through
+  // std::atomic_ref; each tile only consumes (and clears) its own mask, and
+  // nobody sets bits in the current bank during this phase — downstream
+  // writes land in a different bank of the ring (hop_latency % banks != 0).
+  LatchBank& bank = *cur_;
+  const std::size_t whi = plan_->word_hi(tile);
+  for (std::size_t w = plan_->word_lo(tile); w < whi; ++w) {
+    const std::uint64_t mask = plan_->word_mask(tile, w);
+    std::atomic_ref<std::uint64_t> active(bank.active[w]);
+    std::atomic_ref<std::uint64_t> inject(inject_words_[w]);
+    std::uint64_t bits =
+        (active.load(std::memory_order_relaxed) | inject.load(std::memory_order_relaxed)) & mask;
+    if (bits == 0) continue;
+    active.fetch_and(~mask, std::memory_order_relaxed);
+    inject.fetch_and(~mask, std::memory_order_relaxed);
+    do {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      route_node<true>(now, static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)), tile);
+    } while (bits != 0);
+  }
+}
+
+void BlessFabric::shard_exchange(Cycle now, int tile) {
+  // Apply latch writes other tiles routed toward this tile's rows. The
+  // slots are distinct (one flit per link per cycle), so apply order does
+  // not matter; the active-word OR is atomic because boundary words are
+  // shared with neighbouring tiles doing the same.
+  LatchBank& out_bank = banks_[(now + static_cast<Cycle>(hop_latency_)) % banks_.size()];
+  for (auto& from_src : halo_) {
+    auto& box = from_src[static_cast<std::size_t>(tile)];
+    for (const HaloWrite& hw : box) {
+      NOCSIM_DCHECK((out_bank.valid[hw.node] & (1u << hw.port)) == 0);
+      out_bank.latch[hw.node][hw.port] = hw.flit;
+      out_bank.valid[hw.node] |= static_cast<std::uint8_t>(1u << hw.port);
+      std::atomic_ref<std::uint64_t>(out_bank.active[static_cast<std::size_t>(hw.node) >> 6])
+          .fetch_or(std::uint64_t{1} << (hw.node & 63), std::memory_order_relaxed);
+    }
+    box.clear();
+  }
+}
+
+template <bool Sharded>
+void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
   const auto& st = nodes_[n];
+  [[maybe_unused]] ShardTile* const ts =
+      Sharded ? &shard_tiles_[static_cast<std::size_t>(tile)] : nullptr;
+  (void)tile;
 
   // Gather arrivals; clear the latches (every flit present leaves this cycle).
   std::array<Flit, kNumDirs + 1> flits;
@@ -99,9 +157,13 @@ void BlessFabric::route_node(Cycle now, NodeId n) {
   if (eject_idx >= 0) {
     Flit out = flits[eject_idx];
     flits[eject_idx] = flits[--count];
-    NOCSIM_DCHECK(in_network_ > 0);
-    --in_network_;
-    eject(now, n, out);
+    if constexpr (Sharded) {
+      eject_shard(n, out, *ts);
+    } else {
+      NOCSIM_DCHECK(in_network_ > 0);
+      --in_network_;
+      eject(now, n, out);
+    }
   }
 
   // 2. Injection (node layer already checked can_accept).
@@ -111,9 +173,14 @@ void BlessFabric::route_node(Cycle now, NodeId n) {
     Flit f = pending_inject_[n].flit;
     f.inject_cycle = now;
     flits[count++] = f;
-    ++in_network_;
-    ++stats_.flits_injected;
-    if (trace_ != nullptr) trace_->on_inject(now, n, f);
+    if constexpr (Sharded) {
+      ++ts->net_delta;
+      ++ts->flits_injected;
+    } else {
+      ++in_network_;
+      ++stats_.flits_injected;
+      if (trace_ != nullptr) trace_->on_inject(now, n, f);
+    }
   }
 
   if (count == 0) return;
@@ -157,28 +224,51 @@ void BlessFabric::route_node(Cycle now, NodeId n) {
       }
       NOCSIM_CHECK_MSG(assigned >= 0, "no free output port: flit would be dropped");
       ++f.deflections;
-      ++stats_.deflections;
       ++node_deflections_[static_cast<std::size_t>(n)];
-      if (trace_ != nullptr) trace_->on_deflect(now, n, f);
+      if constexpr (Sharded) {
+        ++ts->deflections;
+      } else {
+        ++stats_.deflections;
+        if (trace_ != nullptr) trace_->on_deflect(now, n, f);
+      }
     }
     taken |= static_cast<std::uint8_t>(1u << assigned);
-    if (productive) ++stats_.productive_hops;
 
     ++f.hops;
-    ++stats_.flit_hops;
     if (mark) f.congested_bit = true;
-    if (trace_ != nullptr) trace_->on_hop(now, n, st.nbr[assigned], f);
+    if constexpr (Sharded) {
+      if (productive) ++ts->productive_hops;
+      ++ts->flit_hops;
+    } else {
+      if (productive) ++stats_.productive_hops;
+      ++stats_.flit_hops;
+      if (trace_ != nullptr) trace_->on_hop(now, n, st.nbr[assigned], f);
+    }
 
     // Link traversal: write straight into the downstream router's input
     // latch in the bank that becomes current at now + hop_latency.
     const NodeId next = st.nbr[assigned];
     const auto in_port =
         static_cast<std::uint8_t>(opposite(static_cast<Dir>(assigned)));
-    NOCSIM_DCHECK((out_bank.valid[next] & (1u << in_port)) == 0);
-    out_bank.latch[next][in_port] = f;
-    out_bank.valid[next] |= static_cast<std::uint8_t>(1u << in_port);
-    out_bank.active[static_cast<std::size_t>(next) >> 6] |=
-        std::uint64_t{1} << (next & 63);
+    if constexpr (Sharded) {
+      if (!plan_->owns(tile, next)) {
+        // Boundary crossing: the target tile applies this in shard_exchange.
+        halo_[static_cast<std::size_t>(tile)][static_cast<std::size_t>(plan_->tile_of(next))]
+            .push_back(HaloWrite{next, in_port, f});
+        continue;
+      }
+      NOCSIM_DCHECK((out_bank.valid[next] & (1u << in_port)) == 0);
+      out_bank.latch[next][in_port] = f;
+      out_bank.valid[next] |= static_cast<std::uint8_t>(1u << in_port);
+      std::atomic_ref<std::uint64_t>(out_bank.active[static_cast<std::size_t>(next) >> 6])
+          .fetch_or(std::uint64_t{1} << (next & 63), std::memory_order_relaxed);
+    } else {
+      NOCSIM_DCHECK((out_bank.valid[next] & (1u << in_port)) == 0);
+      out_bank.latch[next][in_port] = f;
+      out_bank.valid[next] |= static_cast<std::uint8_t>(1u << in_port);
+      out_bank.active[static_cast<std::size_t>(next) >> 6] |=
+          std::uint64_t{1} << (next & 63);
+    }
   }
 }
 

@@ -55,6 +55,14 @@ class BlessFabric final : public Fabric {
   [[nodiscard]] bool can_accept(NodeId n) const override;
   void step(Cycle now) override;
 
+  // Sharded stepping: begin_cycle is already a serial pointer swap (the
+  // default shard_begin), and there is nothing to deliver — arrivals were
+  // latched in place at departure. Only routing and the halo exchange of
+  // cross-tile latch writes are tile-parallel.
+  void set_shard_plan(const ShardPlan* plan) override;
+  void shard_route(Cycle now, int tile) override;
+  void shard_exchange(Cycle now, int tile) override;
+
  private:
   struct NodeState {
     std::uint8_t degree = 0;            ///< usable neighbour ports
@@ -72,13 +80,28 @@ class BlessFabric final : public Fabric {
     std::vector<std::uint64_t> active;              ///< one bit per node with valid != 0
   };
 
-  void route_node(Cycle now, NodeId n);
+  /// One router's eject/inject/allocate/move step. The Sharded variant
+  /// writes counters to the tile's scratch, buffers eject records for the
+  /// ascending-tile replay, and routes cross-tile latch writes through the
+  /// halo outboxes instead of touching another tile's rows directly.
+  template <bool Sharded>
+  void route_node(Cycle now, NodeId n, int tile);
+
+  /// A latch write destined for a router another tile owns: applied by the
+  /// *target* tile in shard_exchange, so every latch slot has exactly one
+  /// writer thread. (One flit per link per cycle makes the slots distinct.)
+  struct HaloWrite {
+    NodeId node;
+    std::uint8_t port;
+    Flit flit;
+  };
 
   BlessRouting routing_;
   std::vector<NodeState> nodes_;
   std::vector<LatchBank> banks_;  ///< ring of hop_latency + 1 phases
   LatchBank* cur_ = nullptr;      ///< bank for the cycle begun last
   Cycle last_begun_ = ~Cycle{0};
+  std::vector<std::vector<std::vector<HaloWrite>>> halo_;  ///< [src tile][dst tile]
 };
 
 }  // namespace nocsim

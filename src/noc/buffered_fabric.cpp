@@ -1,6 +1,7 @@
 #include "noc/buffered_fabric.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstdlib>
 
@@ -85,8 +86,103 @@ bool BufferedFabric::can_accept(NodeId n) const {
   return false;
 }
 
-void BufferedFabric::accept_injection(Cycle now, NodeId n) {
+void BufferedFabric::set_shard_plan(const ShardPlan* plan) {
+  Fabric::set_shard_plan(plan);
+  tile_links_.clear();
+  if (plan != nullptr) {
+    const auto t = static_cast<std::size_t>(plan->tiles());
+    tile_links_.resize(t);
+    for (TileLinks& tl : tile_links_) {
+      tl.wheel.resize(static_cast<std::size_t>(hop_latency_) + 1);
+      tl.out_arr.resize(t);
+      tl.out_cred.resize(t);
+    }
+  }
+}
+
+void BufferedFabric::shard_begin(Cycle now) {
+  // Delivery moved to the tile-parallel shard_deliver; only the per-cycle
+  // protocol check stays serial.
+  NOCSIM_CHECK_MSG(last_begun_ != now, "begin_cycle called twice for one cycle");
+  last_begun_ = now;
+}
+
+void BufferedFabric::shard_deliver(Cycle now, int tile) {
+  TileLinks& tl = tile_links_[static_cast<std::size_t>(tile)];
+  ShardTile& ts = shard_tiles_[static_cast<std::size_t>(tile)];
+
+  auto& slot = tl.wheel[now % tl.wheel.size()];
+  for (const LinkArrival& a : slot) {
+    auto& vc = nodes_[a.node].in_vc[a.port][a.vc];
+    NOCSIM_CHECK_MSG(vc.fifo.size() < kVcDepth, "credit protocol violated: FIFO overflow");
+    vc.fifo.push_back(a.flit);
+    ++nodes_[a.node].flits_buffered;
+    ++ts.buffer_writes;
+    std::atomic_ref<std::uint64_t>(work_words_[static_cast<std::size_t>(a.node) >> 6])
+        .fetch_or(std::uint64_t{1} << (a.node & 63), std::memory_order_relaxed);
+  }
+  slot.clear();
+
+  auto& credits = tl.credit[now % tl.credit.size()];
+  for (const CreditReturn& c : credits) {
+    auto& count = nodes_[c.node].credits[c.dir][c.vc];
+    NOCSIM_CHECK_MSG(count < kVcDepth, "credit overflow");
+    ++count;
+  }
+  credits.clear();
+}
+
+void BufferedFabric::shard_route(Cycle now, int tile) {
+  // step()'s worklist walk restricted to this tile's bits; boundary words
+  // are shared between tiles, so loads, clears, and the carried-over
+  // "still busy" OR go through std::atomic_ref. No tile sets another
+  // tile's work bits during this phase (arrivals land in wheels/outboxes).
+  const std::size_t whi = plan_->word_hi(tile);
+  for (std::size_t w = plan_->word_lo(tile); w < whi; ++w) {
+    const std::uint64_t mask = plan_->word_mask(tile, w);
+    std::atomic_ref<std::uint64_t> work(work_words_[w]);
+    std::atomic_ref<std::uint64_t> inject(inject_words_[w]);
+    std::uint64_t bits =
+        (work.load(std::memory_order_relaxed) | inject.load(std::memory_order_relaxed)) & mask;
+    if (bits == 0) continue;
+    work.fetch_and(~mask, std::memory_order_relaxed);
+    inject.fetch_and(~mask, std::memory_order_relaxed);
+    std::uint64_t still = 0;
+    do {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto n = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+      if (pending_inject_[n].requested) accept_injection<true>(now, n, tile);
+      if (nodes_[n].flits_buffered != 0) {
+        route_node<true>(now, n, tile);
+        if (nodes_[n].flits_buffered != 0) still |= std::uint64_t{1} << (n & 63);
+      }
+    } while (bits != 0);
+    if (still != 0) work.fetch_or(still, std::memory_order_relaxed);
+  }
+}
+
+void BufferedFabric::shard_exchange(Cycle now, int tile) {
+  // Collect arrivals and credits other tiles routed toward this tile into
+  // its own wheels. Same-slot entries address distinct FIFOs / credit
+  // counters, so the src-tile visit order is immaterial.
+  TileLinks& tl = tile_links_[static_cast<std::size_t>(tile)];
+  const std::size_t aslot = (now + static_cast<Cycle>(hop_latency_)) % tl.wheel.size();
+  const std::size_t cslot = (now + 1) % tl.credit.size();
+  for (TileLinks& src : tile_links_) {
+    auto& abox = src.out_arr[static_cast<std::size_t>(tile)];
+    for (const LinkArrival& a : abox) tl.wheel[aslot].push_back(a);
+    abox.clear();
+    auto& cbox = src.out_cred[static_cast<std::size_t>(tile)];
+    for (const CreditReturn& c : cbox) tl.credit[cslot].push_back(c);
+    cbox.clear();
+  }
+}
+
+template <bool Sharded>
+void BufferedFabric::accept_injection(Cycle now, NodeId n, int tile) {
   auto& st = nodes_[n];
+  (void)tile;
   Flit f = pending_inject_[n].flit;
   pending_inject_[n].requested = false;
   f.inject_cycle = now;
@@ -118,10 +214,17 @@ void BufferedFabric::accept_injection(Cycle now, NodeId n) {
   NOCSIM_CHECK_MSG(fifo.size() < kVcDepth, "injection FIFO overflow");
   fifo.push_back(f);
   ++st.flits_buffered;
-  ++in_network_;
-  ++stats_.flits_injected;
-  ++stats_.buffer_writes;
-  if (trace_ != nullptr) trace_->on_inject(now, n, f);
+  if constexpr (Sharded) {
+    ShardTile& ts = shard_tiles_[static_cast<std::size_t>(tile)];
+    ++ts.net_delta;
+    ++ts.flits_injected;
+    ++ts.buffer_writes;
+  } else {
+    ++in_network_;
+    ++stats_.flits_injected;
+    ++stats_.buffer_writes;
+    if (trace_ != nullptr) trace_->on_inject(now, n, f);
+  }
 }
 
 void BufferedFabric::step(Cycle now) {
@@ -143,9 +246,9 @@ void BufferedFabric::step(Cycle now) {
       const int b = std::countr_zero(bits);
       bits &= bits - 1;
       const auto n = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
-      if (pending_inject_[n].requested) accept_injection(now, n);
+      if (pending_inject_[n].requested) accept_injection<false>(now, n, 0);
       if (nodes_[n].flits_buffered != 0) {
-        route_node(now, n);
+        route_node<false>(now, n, 0);
         if (nodes_[n].flits_buffered != 0) still |= std::uint64_t{1} << (n & 63);
       }
     } while (bits != 0);
@@ -153,8 +256,12 @@ void BufferedFabric::step(Cycle now) {
   }
 }
 
-void BufferedFabric::route_node(Cycle now, NodeId n) {
+template <bool Sharded>
+void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
   auto& st = nodes_[n];
+  [[maybe_unused]] ShardTile* const ts =
+      Sharded ? &shard_tiles_[static_cast<std::size_t>(tile)] : nullptr;
+  (void)tile;
 
   // Gather switch-allocation candidates: head flits of non-empty input VCs.
   struct Candidate {
@@ -203,8 +310,18 @@ void BufferedFabric::route_node(Cycle now, NodeId n) {
     const NodeId upstream = st.nbr[in_port];
     NOCSIM_DCHECK(upstream != kInvalidNode);
     const auto up_dir = static_cast<std::uint8_t>(opposite(static_cast<Dir>(in_port)));
-    credit_wheel_[(now + 1) % credit_wheel_.size()].push_back(
-        CreditReturn{upstream, up_dir, static_cast<std::uint8_t>(vc)});
+    const CreditReturn cr{upstream, up_dir, static_cast<std::uint8_t>(vc)};
+    if constexpr (Sharded) {
+      TileLinks& tl = tile_links_[static_cast<std::size_t>(tile)];
+      const int dt = plan_->tile_of(upstream);
+      if (dt == tile) {
+        tl.credit[(now + 1) % tl.credit.size()].push_back(cr);
+      } else {
+        tl.out_cred[static_cast<std::size_t>(dt)].push_back(cr);
+      }
+    } else {
+      credit_wheel_[(now + 1) % credit_wheel_.size()].push_back(cr);
+    }
   };
 
   for (int k = 0; k < num_cands; ++k) {
@@ -222,12 +339,17 @@ void BufferedFabric::route_node(Cycle now, NodeId n) {
       // Ejection: no VC or credit needed; the NI sink always accepts.
       vcs.fifo.pop_front();
       --st.flits_buffered;
-      ++stats_.buffer_reads;
       return_credit(c.port, c.vc);
-      NOCSIM_DCHECK(in_network_ > 0);
-      --in_network_;
-      Flit out = f;
-      eject(now, n, out);
+      if constexpr (Sharded) {
+        ++ts->buffer_reads;
+        eject_shard(n, f, *ts);
+      } else {
+        ++stats_.buffer_reads;
+        NOCSIM_DCHECK(in_network_ > 0);
+        --in_network_;
+        Flit out = f;
+        eject(now, n, out);
+      }
       in_used |= static_cast<std::uint8_t>(1u << c.port);
       out_used |= static_cast<std::uint8_t>(1u << op);
       continue;
@@ -265,21 +387,34 @@ void BufferedFabric::route_node(Cycle now, NodeId n) {
     // Traverse.
     vcs.fifo.pop_front();
     --st.flits_buffered;
-    ++stats_.buffer_reads;
     return_credit(c.port, c.vc);
     --st.credits[op][ovc];
     Flit moving = f;
     moving.vc_state = next_vc_state(n, op, moving);
     ++moving.hops;
-    ++stats_.flit_hops;
-    ++stats_.productive_hops;  // XY routing: every buffered hop is minimal
     if (node_marks(n)) moving.congested_bit = true;
     const NodeId next = st.nbr[op];
     NOCSIM_CHECK_MSG(next != kInvalidNode, "XY routing chose a missing link");
-    if (trace_ != nullptr) trace_->on_hop(now, n, next, moving);
-    wheel_[(now + static_cast<Cycle>(hop_latency_)) % wheel_.size()].push_back(LinkArrival{
-        next, static_cast<std::uint8_t>(opposite(static_cast<Dir>(op))),
-        static_cast<std::uint8_t>(ovc), moving});
+    const LinkArrival arr{next, static_cast<std::uint8_t>(opposite(static_cast<Dir>(op))),
+                          static_cast<std::uint8_t>(ovc), moving};
+    if constexpr (Sharded) {
+      ++ts->buffer_reads;
+      ++ts->flit_hops;
+      ++ts->productive_hops;  // XY routing: every buffered hop is minimal
+      TileLinks& tl = tile_links_[static_cast<std::size_t>(tile)];
+      const int dt = plan_->tile_of(next);
+      if (dt == tile) {
+        tl.wheel[(now + static_cast<Cycle>(hop_latency_)) % tl.wheel.size()].push_back(arr);
+      } else {
+        tl.out_arr[static_cast<std::size_t>(dt)].push_back(arr);
+      }
+    } else {
+      ++stats_.buffer_reads;
+      ++stats_.flit_hops;
+      ++stats_.productive_hops;  // XY routing: every buffered hop is minimal
+      if (trace_ != nullptr) trace_->on_hop(now, n, next, moving);
+      wheel_[(now + static_cast<Cycle>(hop_latency_)) % wheel_.size()].push_back(arr);
+    }
 
     if (is_tail) {
       st.out_vc_busy[op][ovc] = false;

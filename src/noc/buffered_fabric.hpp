@@ -39,6 +39,18 @@ class BufferedFabric final : public Fabric {
   [[nodiscard]] bool can_accept(NodeId n) const override;
   void step(Cycle now) override;
 
+  // Sharded stepping: link-arrival and credit wheels become per-tile (a
+  // tile delivers only its own routers' arrivals in shard_deliver), and
+  // route-phase pushes destined for another tile's wheel travel through
+  // per-(src, dst)-tile outboxes applied in shard_exchange. Within one
+  // wheel slot, arrivals target distinct (node, port, vc) FIFOs — one flit
+  // per link per cycle — so the redistribution cannot reorder any FIFO.
+  void set_shard_plan(const ShardPlan* plan) override;
+  void shard_begin(Cycle now) override;
+  void shard_deliver(Cycle now, int tile) override;
+  void shard_route(Cycle now, int tile) override;
+  void shard_exchange(Cycle now, int tile) override;
+
  private:
   /// Fixed-capacity flit FIFO, matching the hardware buffer exactly
   /// (kVcDepth slots). A ring buffer keeps the hot path allocation-free.
@@ -112,14 +124,26 @@ class BufferedFabric final : public Fabric {
   /// [c*2, c*2+1] on a torus, any VC on a mesh.
   [[nodiscard]] static int vc_class_of(std::uint8_t vc_state) { return vc_state & 1; }
 
-  void route_node(Cycle now, NodeId n);
-  void accept_injection(Cycle now, NodeId n);
+  template <bool Sharded>
+  void route_node(Cycle now, NodeId n, int tile);
+  template <bool Sharded>
+  void accept_injection(Cycle now, NodeId n, int tile);
+
+  /// Tile-local link state when sharded: the tile's slice of the arrival
+  /// and credit wheels, plus outboxes for pushes that target another tile.
+  struct TileLinks {
+    std::vector<std::vector<LinkArrival>> wheel;      ///< [slot]
+    std::array<std::vector<CreditReturn>, 2> credit;  ///< [slot parity]
+    std::vector<std::vector<LinkArrival>> out_arr;    ///< [dst tile]
+    std::vector<std::vector<CreditReturn>> out_cred;  ///< [dst tile]
+  };
 
   bool torus_ = false;
 
   std::vector<NodeState> nodes_;
   std::vector<std::vector<LinkArrival>> wheel_;
   std::vector<std::vector<CreditReturn>> credit_wheel_;
+  std::vector<TileLinks> tile_links_;  ///< empty unless sharded
   /// Bitmap over nodes with flits_buffered != 0. Set on arrival delivery;
   /// a bit survives step() until its router drains, so blocked routers are
   /// revisited every cycle but empty ones are never scanned.

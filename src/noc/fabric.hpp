@@ -16,9 +16,11 @@
 // free").
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <vector>
 
+#include "common/shard.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/flit.hpp"
@@ -109,18 +111,97 @@ class Fabric {
   /// fabric does not own the sink; it must outlive the fabric or be
   /// detached first. With no sink attached, every hook site reduces to one
   /// null-pointer test (the telemetry off fast path).
-  void set_trace_sink(FlitEventSink* sink) { trace_ = sink; }
+  void set_trace_sink(FlitEventSink* sink) {
+    NOCSIM_CHECK_MSG(sink == nullptr || plan_ == nullptr,
+                     "flit tracing is incompatible with sharded stepping");
+    trace_ = sink;
+  }
+
+  // --------------------------------------------------------------- sharding
+  //
+  // Sharded per-cycle protocol, replacing begin_cycle()/step() when a plan
+  // is set (the caller provides the barriers between phases):
+  //
+  //   1. shard_begin(now)            — serial prologue (latch-bank swap)
+  //   2. shard_deliver(now, tile)    — parallel: deliver tile-local wheel
+  //                                    arrivals/credits (buffered only)
+  //   3. (caller injects via can_accept/request_inject, tile-parallel)
+  //   4. shard_route(now, tile)      — parallel: route the tile's routers;
+  //                                    off-tile link writes go to outboxes
+  //   5. shard_exchange(now, tile)   — parallel: apply halo writes *to* tile
+  //   6. shard_finish(now)           — serial: fold per-tile counters and
+  //                                    replay buffered ejects in ascending
+  //                                    tile order (bit-identical to serial)
+  //
+  // Tiles own contiguous node-id ranges (ShardPlan), so ascending-tile
+  // replay reproduces the serial ascending-node event order exactly; 64-bit
+  // worklist words that straddle tile boundaries are updated through
+  // std::atomic_ref with commutative RMWs (fetch_or/fetch_and), whose final
+  // value is order-independent.
+
+  /// Enable (plan != nullptr) or disable sharded stepping. Must be called
+  /// before any cycle runs; incompatible with an attached trace sink.
+  /// Fabrics override to size their tile-local scratch (and call the base).
+  virtual void set_shard_plan(const ShardPlan* plan) {
+    NOCSIM_CHECK_MSG(plan == nullptr || trace_ == nullptr,
+                     "flit tracing is incompatible with sharded stepping");
+    plan_ = plan;
+    shard_tiles_.clear();
+    if (plan != nullptr) {
+      shard_tiles_.resize(static_cast<std::size_t>(plan->tiles()));
+    }
+  }
+  [[nodiscard]] const ShardPlan* shard_plan() const { return plan_; }
+
+  virtual void shard_begin(Cycle now) { begin_cycle(now); }
+  virtual void shard_deliver(Cycle now, int tile) {
+    (void)now;
+    (void)tile;
+  }
+  virtual void shard_route(Cycle now, int tile) = 0;
+  virtual void shard_exchange(Cycle now, int tile) = 0;
+
+  /// Serial epilogue: fold per-tile counters into stats_ and replay the
+  /// buffered ejections in ascending tile order — node ranges are
+  /// contiguous per tile, so this is the serial ascending-node eject order,
+  /// and the Welford accumulators see the exact same add sequence.
+  virtual void shard_finish(Cycle now) {
+    ++stats_.cycles;
+    for (ShardTile& ts : shard_tiles_) {
+      stats_.flits_injected += ts.flits_injected;
+      stats_.flit_hops += ts.flit_hops;
+      stats_.deflections += ts.deflections;
+      stats_.productive_hops += ts.productive_hops;
+      stats_.buffer_reads += ts.buffer_reads;
+      stats_.buffer_writes += ts.buffer_writes;
+      for (ShardEject& e : ts.ejects) {
+        eject_stats(now, e.flit);  // sink_ already ran on the tile thread
+      }
+      in_network_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(in_network_) +
+                                               ts.net_delta);
+      ts.reset();
+    }
+  }
 
   virtual void begin_cycle(Cycle now) = 0;
   [[nodiscard]] virtual bool can_accept(NodeId n) const = 0;
 
   /// Hand one flit to node n's router for injection this cycle.
   /// Pre: can_accept(n) was true after this cycle's begin_cycle().
+  /// Sharded: callable concurrently from different tiles for their own
+  /// nodes — the slot is tile-owned, and the shared bitmap word is updated
+  /// with a commutative atomic OR.
   void request_inject(NodeId n, const Flit& f) {
     NOCSIM_DCHECK(!pending_inject_[n].requested);
     pending_inject_[n].flit = f;
     pending_inject_[n].requested = true;
-    inject_words_[static_cast<std::size_t>(n) >> 6] |= std::uint64_t{1} << (n & 63);
+    const std::size_t w = static_cast<std::size_t>(n) >> 6;
+    const std::uint64_t bit = std::uint64_t{1} << (n & 63);
+    if (plan_ != nullptr) {
+      std::atomic_ref<std::uint64_t>(inject_words_[w]).fetch_or(bit, std::memory_order_relaxed);
+    } else {
+      inject_words_[w] |= bit;
+    }
   }
 
   virtual void step(Cycle now) = 0;
@@ -194,7 +275,7 @@ class Fabric {
     return topo_.distance(a, b);
   }
 
-  void eject(Cycle now, NodeId at, Flit& f) {
+  void eject_stats(Cycle now, const Flit& f) {
     ++stats_.flits_ejected;
     stats_.net_latency.add(static_cast<double>(now - f.inject_cycle));
     stats_.total_latency.add(static_cast<double>(now - f.enqueue_cycle));
@@ -202,7 +283,47 @@ class Fabric {
     stats_.deflections_per_flit.add(static_cast<double>(f.deflections));
     stats_.flit_hops_delivered += f.hops;
     stats_.min_hops_total += static_cast<std::uint64_t>(hop_distance(f.src, f.dst));
+  }
+
+  void eject(Cycle now, NodeId at, Flit& f) {
+    eject_stats(now, f);
     if (trace_ != nullptr) trace_->on_eject(now, at, f);
+    if (sink_) sink_(at, f);
+  }
+
+  /// One ejection recorded during a sharded route phase: the sink runs
+  /// immediately (the tile owns the node's NI state), the accumulator
+  /// updates are deferred to shard_finish's ascending-tile replay.
+  struct ShardEject {
+    NodeId at;
+    Flit flit;
+  };
+
+  /// Per-tile scratch accumulated during one sharded cycle: plain counters
+  /// (commutative — summed in shard_finish) plus the order-sensitive eject
+  /// records (replayed serially). Reset every cycle; the vector keeps its
+  /// capacity, so the steady-state cycle is allocation-free.
+  struct ShardTile {
+    std::uint64_t flits_injected = 0;
+    std::uint64_t flit_hops = 0;
+    std::uint64_t deflections = 0;
+    std::uint64_t productive_hops = 0;
+    std::uint64_t buffer_reads = 0;
+    std::uint64_t buffer_writes = 0;
+    std::int64_t net_delta = 0;  ///< in_network_ delta (injected - ejected)
+    std::vector<ShardEject> ejects;
+
+    void reset() {
+      flits_injected = flit_hops = deflections = 0;
+      productive_hops = buffer_reads = buffer_writes = 0;
+      net_delta = 0;
+      ejects.clear();
+    }
+  };
+
+  void eject_shard(NodeId at, const Flit& f, ShardTile& ts) {
+    --ts.net_delta;
+    ts.ejects.push_back(ShardEject{at, f});
     if (sink_) sink_(at, f);
   }
 
@@ -225,6 +346,8 @@ class Fabric {
   std::uint64_t in_network_ = 0;       ///< flits injected minus ejected
   std::vector<std::uint64_t> node_deflections_;  ///< per-router, never reset
   std::vector<std::uint8_t> marking_;  ///< empty unless distributed CC active
+  const ShardPlan* plan_ = nullptr;    ///< null = serial stepping
+  std::vector<ShardTile> shard_tiles_;  ///< one per tile when sharded
 };
 
 }  // namespace nocsim

@@ -71,6 +71,12 @@ struct SimConfig {
 
   // Run control.
   std::uint64_t seed = 1;
+  /// Intra-run sharding: partition the mesh into up to `shards` row-strip
+  /// tiles, one worker thread per tile, inside a single simulation. Results
+  /// are byte-identical to shards = 1 for every value (order-sensitive
+  /// reductions are buffered per tile and replayed in ascending tile order).
+  /// CcMode::Distributed forces the serial path (per-cycle coordinator).
+  int shards = 1;
   /// Functional L1 warm-up per core before cycle 0 (no timing): removes the
   /// compulsory-miss transient from the measurement.
   std::uint64_t prewarm_instructions = 60'000;

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <atomic>
 #include <bit>
 
 #include "cpu/file_trace.hpp"
@@ -99,6 +100,21 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
   telemetry_.resize(n);
   staged_rates_.assign(n, 0.0);
   epoch_ipf_.resize(n);
+
+  NOCSIM_CHECK_MSG(config_.shards >= 1, "shards must be >= 1");
+  // Distributed CC pulls a coordinator rate into every NI every cycle and
+  // scans all nodes; it stays on the serial path.
+  if (config_.shards > 1 && !distributed_) {
+    plan_.emplace(config_.width, config_.height, config_.shards);
+    if (plan_->tiles() > 1) {
+      sharded_ = true;
+      fabric_->set_shard_plan(&*plan_);
+      tiles_.resize(static_cast<std::size_t>(plan_->tiles()));
+      team_ = std::make_unique<ShardTeam>(plan_->tiles());
+    } else {
+      plan_.reset();  // single-row mesh: nothing to split
+    }
+  }
 }
 
 void Simulator::sync_ni(NodeId n, Cycle upto) {
@@ -119,7 +135,15 @@ void Simulator::sync_ni(NodeId n, Cycle upto) {
 
 void Simulator::wake_ni(NodeId n, Cycle upto) {
   sync_ni(n, upto);
-  ni_work_[static_cast<std::size_t>(n) >> 6] |= std::uint64_t{1} << (n & 63);
+  const std::size_t w = static_cast<std::size_t>(n) >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (n & 63);
+  if (sharded_) {
+    // Bitmap words straddle tile boundaries; the OR is commutative, so a
+    // relaxed RMW keeps concurrent wakes from neighbouring tiles exact.
+    std::atomic_ref<std::uint64_t>(ni_work_[w]).fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    ni_work_[w] |= bit;
+  }
 }
 
 void Simulator::enqueue_packet(FlitRing& q, NodeId src, NodeId dst, PacketKind kind,
@@ -141,9 +165,16 @@ void Simulator::enqueue_packet(FlitRing& q, NodeId src, NodeId dst, PacketKind k
 void Simulator::on_miss(NodeId n, Addr block) {
   const NodeId home = mapper_->home(n, block);
   if (home == n) {
-    // Local slice: no network traversal, just the L2 service latency.
-    l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()].push_back(
-        PendingL2{home, n, block});
+    // Local slice: no network traversal, just the L2 service latency. Under
+    // sharding this fires on a tile thread (core phase): buffer the push and
+    // fold it into the wheel in ascending tile order from the serial finish.
+    if (sharded_) {
+      tiles_[static_cast<std::size_t>(plan_->tile_of(n))].l2_core.push_back(
+          PendingL2{home, n, block});
+    } else {
+      l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()].push_back(
+          PendingL2{home, n, block});
+    }
     return;
   }
   Ni& ni = nis_[n];
@@ -166,8 +197,18 @@ void Simulator::on_flit_ejected(NodeId at, const Flit& f) {
   // Latency distributions (per-flit, like the fabric's mean accumulators).
   const double net = static_cast<double>(now_ - f.inject_cycle);
   const double total = static_cast<double>(now_ - f.enqueue_cycle);
-  lat_all_.net.add(net);
-  lat_all_.total.add(total);
+  // Under sharding this fires on a tile thread (route phase): accumulate in
+  // the tile's scratch histograms. Histogram counts/min/max are exactly
+  // commutative, so the collect()-time fold is bit-identical to serial adds.
+  LatencyHistograms* all = &lat_all_;
+  std::array<LatencyHistograms, kNumIntensityClasses>* cls = &lat_class_;
+  if (sharded_) {
+    SimTile& st = tiles_[static_cast<std::size_t>(plan_->tile_of(at))];
+    all = &st.lat_all;
+    cls = &st.lat_class;
+  }
+  all->net.add(net);
+  all->total.add(total);
   // Attribute to the app that owns the flit: a Request belongs to its
   // source core, a Response to the core it fills. Control flits and flits
   // of idle/file-trace nodes have no intensity class.
@@ -175,19 +216,26 @@ void Simulator::on_flit_ejected(NodeId at, const Flit& f) {
   if (f.kind == PacketKind::Request) owner = f.src;
   if (f.kind == PacketKind::Response) owner = f.dst;
   if (owner == kInvalidNode) return;
-  const int cls = node_class_[static_cast<std::size_t>(owner)];
-  if (cls < 0) return;
-  lat_class_[static_cast<std::size_t>(cls)].net.add(net);
-  lat_class_[static_cast<std::size_t>(cls)].total.add(total);
+  const int c = node_class_[static_cast<std::size_t>(owner)];
+  if (c < 0) return;
+  (*cls)[static_cast<std::size_t>(c)].net.add(net);
+  (*cls)[static_cast<std::size_t>(c)].total.add(total);
 }
 
 void Simulator::on_packet(NodeId at, const Flit& header) {
   switch (header.kind) {
     case PacketKind::Request:
       // Perfect shared L2: always hits; respond after the service latency.
+      // Sharded: the reassembly sink fires on a tile thread during the route
+      // phase — buffer per tile, fold serially in ascending tile order.
       NOCSIM_DCHECK(header.dst == at);
-      l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()].push_back(
-          PendingL2{at, header.src, header.addr});
+      if (sharded_) {
+        tiles_[static_cast<std::size_t>(plan_->tile_of(at))].l2_route.push_back(
+            PendingL2{at, header.src, header.addr});
+      } else {
+        l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()].push_back(
+            PendingL2{at, header.src, header.addr});
+      }
       break;
     case PacketKind::Response:
       NOCSIM_CHECK_MSG(cores_[at] != nullptr, "response delivered to an idle node");
@@ -226,6 +274,26 @@ void Simulator::deliver_l2(Cycle now) {
   due.clear();
 }
 
+void Simulator::deliver_l2_shard(Cycle now, int tile) {
+  // Every tile scans the full due list and services only its own home
+  // slices (for local fills home == requester, so one owner either way).
+  // The slot is cleared once, in the serial part of step_sharded — pushes
+  // made this cycle target a different slot (l2_latency % (l2_latency + 1)
+  // != 0), so the stale entries are never re-read.
+  const auto& due = l2_wheel_[now % l2_wheel_.size()];
+  for (const PendingL2& p : due) {
+    if (!plan_->owns(tile, p.home)) continue;
+    if (p.home == p.requester) {
+      cores_[p.requester]->on_fill(p.block, now);
+      continue;
+    }
+    Ni& home_ni = nis_[p.home];
+    wake_ni(p.home, now);
+    enqueue_packet(home_ni.response_q, p.home, p.requester, PacketKind::Response, p.block,
+                   config_.response_flits, home_ni.next_seq++);
+  }
+}
+
 void Simulator::ni_inject(NodeId n) {
   Ni& ni = nis_[n];
   NOCSIM_DCHECK(ni.synced_to == now_);
@@ -244,7 +312,12 @@ void Simulator::ni_inject(NodeId n) {
     ni.starvation_net.record(false);
     // Drained: go to sleep. sync_ni replays the idle cycles on wake-up.
     // Under distributed CC the worklist is unused (full scan every cycle).
-    ni_work_[static_cast<std::size_t>(n) >> 6] &= ~(std::uint64_t{1} << (n & 63));
+    if (sharded_) {
+      std::atomic_ref<std::uint64_t>(ni_work_[static_cast<std::size_t>(n) >> 6])
+          .fetch_and(~(std::uint64_t{1} << (n & 63)), std::memory_order_relaxed);
+    } else {
+      ni_work_[static_cast<std::size_t>(n) >> 6] &= ~(std::uint64_t{1} << (n & 63));
+    }
     return;
   }
   // Network-admission starvation: wants to inject but the router has no
@@ -351,7 +424,72 @@ void Simulator::epoch_update() {
   wake_ni(ctrl, now_ + 1);
 }
 
+void Simulator::inject_tile(int tile) {
+  // Tile-masked walk of the injection worklist, same snapshot-then-scan
+  // shape as the serial loop. The load sees this thread's own wakes from
+  // deliver_l2_shard; other tiles only touch other bits of shared words.
+  const std::size_t whi = plan_->word_hi(tile);
+  for (std::size_t w = plan_->word_lo(tile); w < whi; ++w) {
+    std::uint64_t bits =
+        std::atomic_ref<std::uint64_t>(ni_work_[w]).load(std::memory_order_relaxed) &
+        plan_->word_mask(tile, w);
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      ni_inject(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+    }
+  }
+}
+
+void Simulator::step_sharded() {
+  // The same cycle as step(), with every node-indexed phase tile-parallel
+  // and a barrier between phases. Order-sensitive side effects (Welford
+  // adds at ejection, L2 wheel push order) were buffered per tile by the
+  // phases and are folded here in ascending tile order — identical to the
+  // serial ascending-node order because tiles are contiguous row strips.
+  fabric_->shard_begin(now_);
+  team_->run([this](int t) {
+    fabric_->shard_deliver(now_, t);
+    deliver_l2_shard(now_, t);
+    inject_tile(t);
+  });
+  team_->run([this](int t) { fabric_->shard_route(now_, t); });
+  team_->run([this](int t) { fabric_->shard_exchange(now_, t); });
+  team_->run([this](int t) {
+    const ShardPlan::TileRange r = plan_->range(t);
+    for (NodeId i = r.lo; i < r.hi; ++i) {
+      if (cores_[i]) cores_[i]->step(now_);
+    }
+  });
+  fabric_->shard_finish(now_);
+
+  // Fold the buffered L2 pushes in serial program order: the route phase's
+  // ejected requests first (ascending tile == ascending ejection order),
+  // then the core phase's local-slice hits; clear the consumed due slot.
+  l2_wheel_[now_ % l2_wheel_.size()].clear();
+  auto& slot = l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()];
+  for (SimTile& t : tiles_) {
+    slot.insert(slot.end(), t.l2_route.begin(), t.l2_route.end());
+    t.l2_route.clear();
+  }
+  for (SimTile& t : tiles_) {
+    slot.insert(slot.end(), t.l2_core.begin(), t.l2_core.end());
+    t.l2_core.clear();
+  }
+
+  if ((now_ + 1) % config_.cc_params.epoch == 0) epoch_update();
+  if (hub_ != nullptr && (now_ + 1) % hub_period_ == 0) {
+    for (NodeId i = 0; i < config_.num_nodes(); ++i) sync_ni(i, now_ + 1);
+    hub_->sample(now_);
+  }
+  ++now_;
+}
+
 void Simulator::step() {
+  if (sharded_) {
+    step_sharded();
+    return;
+  }
   fabric_->begin_cycle(now_);
   deliver_l2(now_);
   const int n = config_.num_nodes();
@@ -416,6 +554,10 @@ void Simulator::begin_measurement() {
   congested_epochs_at_measure_start_ = controller_->epochs_congested();
   lat_all_ = LatencyHistograms{};
   lat_class_.fill(LatencyHistograms{});
+  for (SimTile& t : tiles_) {
+    t.lat_all = LatencyHistograms{};
+    t.lat_class.fill(LatencyHistograms{});
+  }
 }
 
 SimResult Simulator::run() {
@@ -473,6 +615,18 @@ SimResult Simulator::collect(Cycle measured_cycles) {
       controller_->epochs_congested() - congested_epochs_at_measure_start_;
   result.congested_epoch_fraction =
       epochs ? static_cast<double>(congested) / static_cast<double>(epochs) : 0.0;
+  if (sharded_) {
+    // Fold the per-tile histograms (bin counts and min/max are exactly
+    // commutative, so the fold order is immaterial).
+    for (const SimTile& t : tiles_) {
+      lat_all_.net.merge(t.lat_all.net);
+      lat_all_.total.merge(t.lat_all.total);
+      for (std::size_t c = 0; c < lat_class_.size(); ++c) {
+        lat_class_[c].net.merge(t.lat_class[c].net);
+        lat_class_[c].total.merge(t.lat_class[c].total);
+      }
+    }
+  }
   result.latency = lat_all_;
   result.latency_by_class = lat_class_;
   return result;

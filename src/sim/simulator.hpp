@@ -20,6 +20,8 @@
 #include <optional>
 #include <vector>
 
+#include "common/shard.hpp"
+#include "common/shard_team.hpp"
 #include "core/controller.hpp"
 #include "core/distributed.hpp"
 #include "core/monitor.hpp"
@@ -105,6 +107,14 @@ class Simulator {
   };
 
   void step();
+  /// One cycle of the sharded pipeline (config.shards > 1): phase-parallel
+  /// over row-strip tiles with barriers in between, bit-identical to step().
+  void step_sharded();
+  /// Tile t's slice of deliver_l2: every tile scans the full due list and
+  /// services only its own home slices; the slot is cleared serially.
+  void deliver_l2_shard(Cycle now, int tile);
+  /// Tile t's slice of the injection worklist walk.
+  void inject_tile(int tile);
   void ni_inject(NodeId n);
   void enqueue_packet(FlitRing& q, NodeId src, NodeId dst, PacketKind kind, Addr addr,
                       int len, PacketSeq seq);
@@ -139,6 +149,22 @@ class Simulator {
   /// and cleared by ni_inject when a node's queues drain.
   std::vector<std::uint64_t> ni_work_;
   std::vector<std::vector<PendingL2>> l2_wheel_;
+
+  /// Per-tile scratch for the sharded cycle loop. Order-sensitive side
+  /// effects produced on tile threads are buffered here and folded serially
+  /// in ascending tile order — which equals ascending node order, because
+  /// tiles are contiguous row strips — so the folded state is bit-identical
+  /// to what the serial loop would have produced.
+  struct SimTile {
+    std::vector<PendingL2> l2_route;  ///< L2 pushes from the route phase (ejected requests)
+    std::vector<PendingL2> l2_core;   ///< L2 pushes from the core phase (local-slice hits)
+    LatencyHistograms lat_all;        ///< histogram adds are exactly commutative
+    std::array<LatencyHistograms, kNumIntensityClasses> lat_class;
+  };
+  bool sharded_ = false;
+  std::optional<ShardPlan> plan_;
+  std::unique_ptr<ShardTeam> team_;
+  std::vector<SimTile> tiles_;
 
   std::vector<NodeTelemetry> telemetry_;
   std::vector<double> staged_rates_;

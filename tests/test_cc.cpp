@@ -47,6 +47,24 @@ TEST(Throttler, DeterministicGateBlocksInOneRunPerWrap) {
   EXPECT_LE(transitions, 10);
 }
 
+TEST(Throttler, DeterministicGateBlocksContiguousLeadingRun) {
+  // Algorithm 3 blocks the *first* floor(rate*128) attempts of every wrap.
+  // (The old increment-then-compare order stranded the count_ == 0 block at
+  // the end of each wrap.) Verify exact positions for every threshold,
+  // including 128 (rate 1.0: every attempt blocks), across two wraps.
+  for (int th = 0; th <= 128; ++th) {
+    InjectionThrottler t(InjectionThrottler::Gate::Deterministic);
+    t.set_rate(static_cast<double>(th) / 128.0);  // exact: /2^7 then *2^7
+    for (int wrap = 0; wrap < 2; ++wrap) {
+      for (int i = 0; i < 128; ++i) {
+        ASSERT_EQ(t.allow(), i >= th)
+            << "threshold " << th << " wrap " << wrap << " attempt " << i;
+      }
+    }
+    EXPECT_EQ(t.blocked_attempts(), static_cast<std::uint64_t>(2 * th));
+  }
+}
+
 TEST(Throttler, RandomizedGateBlocksExpectedFraction) {
   InjectionThrottler t(InjectionThrottler::Gate::Randomized, 99);
   t.set_rate(0.6);

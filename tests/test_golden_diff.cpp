@@ -88,7 +88,12 @@ INSTANTIATE_TEST_SUITE_P(
     Snapshots, GoldenDiff,
     ::testing::Values(GoldenCase{"fig02_bless", 0x624ed3e696cab0efULL},
                       GoldenCase{"buffered_baseline", 0x204aafecc685a5dbULL},
-                      GoldenCase{"throttled_hotspot", 0xd5a6cb062829c977ULL}),
+                      // Re-pinned when the deterministic throttle gate was
+                      // restructured to block a contiguous leading run of
+                      // each 128-attempt wrap (Algorithm 3's "first rate*128
+                      // attempts") — an intentional semantic change; the
+                      // whole-wrap blocked fraction is unchanged.
+                      GoldenCase{"throttled_hotspot", 0x82cafa0e181d5d55ULL}),
     [](const auto& inf) { return std::string(inf.param.name); });
 
 }  // namespace

@@ -92,6 +92,31 @@ TEST(Rng, ParetoAtLeastMinimum) {
   for (int i = 0; i < 10000; ++i) ASSERT_GE(rng.next_pareto(2.0, 1.5), 2.0);
 }
 
+TEST(Rng, GeometricTinyPStaysFinite) {
+  // Regression: for tiny p the quotient log(1-u)/log(1-p) exceeds 2^64 and
+  // the uint64 cast was UB (UBSan float-cast-overflow); below ~1.1e-16,
+  // 1-p rounds to 1.0 and the quotient is infinite. The draw now saturates
+  // at the largest double below 2^64.
+  Rng rng(29);
+  for (double p = 1e-1; p >= 1e-12; p *= 1e-1) {
+    for (int i = 0; i < 1000; ++i) {
+      const std::uint64_t v = rng.next_geometric(p);
+      ASSERT_LE(v, 18446744073709549568ULL) << "p " << p;
+    }
+  }
+  // log(1-p) == -0.0 territory: every draw saturates deterministically.
+  EXPECT_EQ(rng.next_geometric(1e-20), 18446744073709549568ULL);
+}
+
+TEST(Rng, GeometricConsumesOneDrawForEveryP) {
+  // The saturating path must consume exactly one uniform draw, like the
+  // normal path, so interleaved distributions stay stream-stable.
+  Rng a(31), b(31);
+  (void)a.next_geometric(1e-20);
+  (void)b.next_geometric(0.5);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
 TEST(Rng, GeometricMeanMatchesP) {
   Rng rng(23);
   const double p = 0.25;

@@ -1,0 +1,195 @@
+// Intra-run sharding tests: the tiled cycle loop must be a faster
+// implementation of the *same function* as the serial loop. Every case
+// serializes the full SimResult (%.17g doubles, order-sensitive Welford
+// moments included) and requires byte-identity between --shards 1 and every
+// sharded tile count — not approximate equality, not same-to-6-digits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/shard.hpp"
+#include "golden_util.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace nocsim {
+namespace {
+
+using testutil::serialize_result;
+
+// Shard counts exercised against the serial baseline. 7 is deliberately
+// coprime to every mesh height used here: tiles get unequal row counts and
+// boundary words are shared between tiles mid-word.
+const int kShardCounts[] = {2, 4, 7};
+
+TEST(ShardPlan, RowStripsAreContiguousAndCoverEveryNode) {
+  for (const auto& [w, h, s] : {std::tuple{8, 8, 4}, {4, 4, 7}, {32, 32, 7}, {5, 3, 2}}) {
+    const ShardPlan plan(w, h, s);
+    ASSERT_GE(plan.tiles(), 1);
+    ASSERT_LE(plan.tiles(), std::min(s, h)) << w << "x" << h << "/" << s;
+    int expect_lo = 0;
+    for (int t = 0; t < plan.tiles(); ++t) {
+      const ShardPlan::TileRange r = plan.range(t);
+      ASSERT_EQ(r.lo, expect_lo) << "gap between tiles";
+      ASSERT_LT(r.lo, r.hi) << "empty tile";
+      ASSERT_EQ(r.lo % w, 0) << "tile does not start on a row boundary";
+      for (int n = r.lo; n < r.hi; ++n) {
+        ASSERT_EQ(plan.tile_of(n), t);
+        ASSERT_TRUE(plan.owns(t, n));
+        ASSERT_TRUE(plan.word_mask(t, static_cast<std::size_t>(n) / 64) &
+                    (1ULL << (static_cast<std::size_t>(n) % 64)));
+      }
+      expect_lo = r.hi;
+    }
+    ASSERT_EQ(expect_lo, w * h) << "tiles do not cover the mesh";
+  }
+}
+
+TEST(ShardPlan, CapsTileCountAtRowCount) {
+  const ShardPlan plan(16, 4, 64);
+  EXPECT_EQ(plan.tiles(), 4);
+  // A single-row mesh cannot be split at all.
+  EXPECT_EQ(ShardPlan(16, 1, 8).tiles(), 1);
+}
+
+// Scenario matrix. These deliberately mirror (and extend) the golden-diff
+// cases: both routers, both topologies, the deterministic Algorithm 3 gate,
+// control traffic modelled as real packets, and an 8x8 mesh where 7 shards
+// split 8 rows unevenly.
+struct ShardScenario {
+  const char* name;
+};
+
+SimConfig scenario_config(const std::string& name, WorkloadSpec& wl) {
+  SimConfig c;
+  c.warmup_cycles = 2'000;
+  c.measure_cycles = 6'000;
+  c.cc_params.epoch = 1'000;
+  c.seed = 1;
+  if (name == "bless_4x4_hm") {
+    Rng rng(17);
+    wl = make_category_workload("HM", 16, rng);
+  } else if (name == "buffered_4x4_hm") {
+    c.router = RouterKind::Buffered;
+    c.seed = 2;
+    Rng rng(48);
+    wl = make_category_workload("HM", 16, rng);
+  } else if (name == "buffered_torus_4x4") {
+    // Dateline VC classes + wraparound links under the halo exchange.
+    c.router = RouterKind::Buffered;
+    c.topology = "torus";
+    c.seed = 5;
+    Rng rng(9);
+    wl = make_category_workload("HM", 16, rng);
+  } else if (name == "throttled_static_4x4") {
+    // Deterministic Algorithm 3 gate + starvation accounting.
+    c.cc = CcMode::Static;
+    c.static_rate = 0.4;
+    c.randomized_throttle_gate = false;
+    c.record_epoch_ipf = true;
+    c.seed = 3;
+    const char* apps[4] = {"matlab", "art.ref.train", "mcf2", "sphinx3"};
+    for (int i = 0; i < 16; ++i) wl.app_names.push_back(apps[i % 4]);
+  } else if (name == "central_cc_8x8") {
+    // 8 rows / 7 shards is the maximally uneven strip split; control
+    // packets ride the network as real traffic.
+    c.width = 8;
+    c.height = 8;
+    c.cc = CcMode::Central;
+    c.model_control_traffic = true;
+    c.seed = 7;
+    Rng rng(21);
+    wl = make_category_workload("HML", 64, rng);
+  } else {
+    ADD_FAILURE() << "unknown shard scenario " << name;
+  }
+  return c;
+}
+
+class ShardedByteIdentity : public ::testing::TestWithParam<ShardScenario> {};
+
+TEST_P(ShardedByteIdentity, SerializedResultMatchesSerialForEveryShardCount) {
+  const std::string name = GetParam().name;
+  WorkloadSpec wl_serial;
+  SimConfig serial = scenario_config(name, wl_serial);
+  const std::string golden = serialize_result(run_workload(serial, wl_serial));
+
+  for (const int shards : kShardCounts) {
+    WorkloadSpec wl;
+    SimConfig c = scenario_config(name, wl);
+    c.shards = shards;
+    const std::string got = serialize_result(run_workload(c, wl));
+    ASSERT_EQ(got, golden) << name << " diverges from serial at --shards " << shards;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ShardedByteIdentity,
+                         ::testing::Values(ShardScenario{"bless_4x4_hm"},
+                                           ShardScenario{"buffered_4x4_hm"},
+                                           ShardScenario{"buffered_torus_4x4"},
+                                           ShardScenario{"throttled_static_4x4"},
+                                           ShardScenario{"central_cc_8x8"}),
+                         [](const auto& inf) { return std::string(inf.param.name); });
+
+// The telemetry time series — every per-epoch sigma/IPF/throttle-rate/
+// counter cell, CSV-rendered — must also be byte-identical: sampling reads
+// live NI and fabric state, so any drift in *when* state changes shows up
+// here even if the end-of-run aggregates happen to agree.
+TEST(ShardedTimeseries, CsvIsByteIdenticalToSerial) {
+  const auto run_csv = [](int shards) {
+    WorkloadSpec wl;
+    SimConfig c = scenario_config("central_cc_8x8", wl);
+    c.shards = shards;
+    Simulator sim(c, wl);
+    TelemetryHub hub;  // adopts the controller epoch as its cadence
+    sim.attach_telemetry(&hub);
+    sim.run();
+    std::ostringstream out;
+    hub.write_csv(out);
+    return out.str();
+  };
+  const std::string serial = run_csv(1);
+  ASSERT_NE(serial.find('\n'), std::string::npos);
+  for (const int shards : kShardCounts) {
+    ASSERT_EQ(run_csv(shards), serial) << "timeseries diverges at --shards " << shards;
+  }
+}
+
+// Two sharded runs of the same config must agree with each other — thread
+// scheduling must not leak into results even transiently.
+TEST(ShardedDeterminism, RepeatedShardedRunsAreIdentical) {
+  const auto run_once = [] {
+    WorkloadSpec wl;
+    SimConfig c = scenario_config("bless_4x4_hm", wl);
+    c.shards = 4;
+    return serialize_result(run_workload(c, wl));
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// Distributed CC needs the per-cycle coordinator scan and stays serial:
+// asking for shards must be a silent no-op, not an error or a divergence.
+TEST(ShardedDeterminism, DistributedCcFallsBackToSerial) {
+  const auto run_dist = [](int shards) {
+    SimConfig c;
+    c.warmup_cycles = 1'000;
+    c.measure_cycles = 3'000;
+    c.cc_params.epoch = 500;
+    c.cc = CcMode::Distributed;
+    c.seed = 11;
+    c.shards = shards;
+    WorkloadSpec wl;
+    Rng rng(33);
+    wl = make_category_workload("HM", 16, rng);
+    return serialize_result(run_workload(c, wl));
+  };
+  EXPECT_EQ(run_dist(4), run_dist(1));
+}
+
+}  // namespace
+}  // namespace nocsim

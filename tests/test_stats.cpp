@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hpp"
 
 namespace nocsim {
@@ -193,6 +195,23 @@ TEST(Histogram, BucketBoundariesLandInRightBin) {
   EXPECT_DOUBLE_EQ(h.bin_left(0), 0.0);
   EXPECT_DOUBLE_EQ(h.bin_left(3), 3.0);
   EXPECT_DOUBLE_EQ(h.bin_left(9), 9.0);
+}
+
+TEST(Histogram, ExtremeSamplesClampWithoutOverflow) {
+  // Regression: samples far outside [lo, hi) scale to values beyond the
+  // int64 range before the clamp, so the float→int cast itself was UB
+  // (flagged by UBSan's float-cast-overflow check in the asan-ubsan CI
+  // job). They must land in the edge bins like any out-of-range sample.
+  Histogram h(0.0, 10.0, 10);
+  h.add(1e300);
+  h.add(-1e300);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.min(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.max(), std::numeric_limits<double>::infinity());
 }
 
 TEST(Histogram, MinMaxAreUnclampedExtremes) {
