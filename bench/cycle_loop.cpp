@@ -68,6 +68,26 @@ BenchResult run_config(const BenchConfig& bc, int reps) {
   return res;
 }
 
+/// The host CPU model from /proc/cpuinfo, so a committed baseline records
+/// what machine produced it. "unknown" off Linux or on parse failure.
+std::string cpu_model() {
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::size_t b = colon + 1;
+    while (b < line.size() && line[b] == ' ') ++b;
+    std::string model = line.substr(b);
+    // Keep the JSON literal simple: drop characters that would need escaping.
+    std::erase_if(model, [](char c) { return c == '"' || c == '\\'; });
+    if (!model.empty()) return model;
+    break;
+  }
+  return "unknown";
+}
+
 void write_json(std::ostream& out, const std::vector<BenchResult>& results, int reps) {
   out << "{\n";
   out << "  \"benchmark\": \"cycle_loop\",\n";
@@ -75,6 +95,8 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results, int 
   out << "  \"note\": \"machine-dependent; refresh with scripts/bench_baseline.sh. "
          "Sharded (_shN) configs only beat serial with >= N physical cores; on a "
          "single-core host they price the barrier overhead instead.\",\n";
+  out << "  \"environment\": {\"cpu_model\": \"" << cpu_model()
+      << "\", \"host_threads\": " << std::thread::hardware_concurrency() << "},\n";
   out << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"reps\": " << reps << ",\n";
   out << "  \"configs\": [\n";

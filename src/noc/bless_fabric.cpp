@@ -119,6 +119,7 @@ void BlessFabric::shard_exchange(Cycle now, int tile) {
   for (auto& from_src : halo_) {
     auto& box = from_src[static_cast<std::size_t>(tile)];
     for (const HaloWrite& hw : box) {
+      NOCSIM_SHARD_CHECK_WRITE(hw.node, "halo latch apply (shard_exchange)");
       NOCSIM_DCHECK((out_bank.valid[hw.node] & (1u << hw.port)) == 0);
       out_bank.latch[hw.node][hw.port] = hw.flit;
       out_bank.valid[hw.node] |= static_cast<std::uint8_t>(1u << hw.port);
@@ -131,6 +132,7 @@ void BlessFabric::shard_exchange(Cycle now, int tile) {
 
 template <bool Sharded>
 void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
+  NOCSIM_SHARD_CHECK_WRITE(n, "router state (route_node)");
   const auto& st = nodes_[n];
   [[maybe_unused]] ShardTile* const ts =
       Sharded ? &shard_tiles_[static_cast<std::size_t>(tile)] : nullptr;
@@ -253,10 +255,12 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
     if constexpr (Sharded) {
       if (!plan_->owns(tile, next)) {
         // Boundary crossing: the target tile applies this in shard_exchange.
+        NOCSIM_SHARD_CHECK_HALO(tile, plan_->tile_of(next));
         halo_[static_cast<std::size_t>(tile)][static_cast<std::size_t>(plan_->tile_of(next))]
             .push_back(HaloWrite{next, in_port, f});
         continue;
       }
+      NOCSIM_SHARD_CHECK_WRITE(next, "downstream latch (route_node)");
       NOCSIM_DCHECK((out_bank.valid[next] & (1u << in_port)) == 0);
       out_bank.latch[next][in_port] = f;
       out_bank.valid[next] |= static_cast<std::uint8_t>(1u << in_port);

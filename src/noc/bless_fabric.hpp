@@ -96,12 +96,16 @@ class BlessFabric final : public Fabric {
     Flit flit;
   };
 
-  BlessRouting routing_;
-  std::vector<NodeState> nodes_;
-  std::vector<LatchBank> banks_;  ///< ring of hop_latency + 1 phases
-  LatchBank* cur_ = nullptr;      ///< bank for the cycle begun last
-  Cycle last_begun_ = ~Cycle{0};
-  std::vector<std::vector<std::vector<HaloWrite>>> halo_;  ///< [src tile][dst tile]
+  BlessRouting routing_ NOCSIM_SHARED_READONLY;
+  /// Read-only after the ctor here, but the annotation table is name-keyed
+  /// and BufferedFabric's nodes_ is genuinely tile-local mutable state.
+  std::vector<NodeState> nodes_ NOCSIM_TILE_LOCAL;
+  /// Ring of hop_latency + 1 phases. Latch slots are per-node (tile-local by
+  /// row range); cross-tile writes detour through halo_ (runtime-checked).
+  std::vector<LatchBank> banks_ NOCSIM_TILE_LOCAL;
+  LatchBank* cur_ NOCSIM_SHARED_READONLY = nullptr;  ///< bank for the cycle begun last
+  Cycle last_begun_ NOCSIM_SHARED_READONLY = ~Cycle{0};
+  std::vector<std::vector<std::vector<HaloWrite>>> halo_ NOCSIM_HALO_ONLY;  ///< [src][dst]
 };
 
 }  // namespace nocsim

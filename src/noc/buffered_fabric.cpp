@@ -113,6 +113,7 @@ void BufferedFabric::shard_deliver(Cycle now, int tile) {
 
   auto& slot = tl.wheel[now % tl.wheel.size()];
   for (const LinkArrival& a : slot) {
+    NOCSIM_SHARD_CHECK_WRITE(a.node, "fifo delivery (shard_deliver)");
     auto& vc = nodes_[a.node].in_vc[a.port][a.vc];
     NOCSIM_CHECK_MSG(vc.fifo.size() < kVcDepth, "credit protocol violated: FIFO overflow");
     vc.fifo.push_back(a.flit);
@@ -125,6 +126,7 @@ void BufferedFabric::shard_deliver(Cycle now, int tile) {
 
   auto& credits = tl.credit[now % tl.credit.size()];
   for (const CreditReturn& c : credits) {
+    NOCSIM_SHARD_CHECK_WRITE(c.node, "credit delivery (shard_deliver)");
     auto& count = nodes_[c.node].credits[c.dir][c.vc];
     NOCSIM_CHECK_MSG(count < kVcDepth, "credit overflow");
     ++count;
@@ -171,16 +173,23 @@ void BufferedFabric::shard_exchange(Cycle now, int tile) {
   const std::size_t cslot = (now + 1) % tl.credit.size();
   for (TileLinks& src : tile_links_) {
     auto& abox = src.out_arr[static_cast<std::size_t>(tile)];
-    for (const LinkArrival& a : abox) tl.wheel[aslot].push_back(a);
+    for (const LinkArrival& a : abox) {
+      NOCSIM_SHARD_CHECK_WRITE(a.node, "halo arrival apply (shard_exchange)");
+      tl.wheel[aslot].push_back(a);
+    }
     abox.clear();
     auto& cbox = src.out_cred[static_cast<std::size_t>(tile)];
-    for (const CreditReturn& c : cbox) tl.credit[cslot].push_back(c);
+    for (const CreditReturn& c : cbox) {
+      NOCSIM_SHARD_CHECK_WRITE(c.node, "halo credit apply (shard_exchange)");
+      tl.credit[cslot].push_back(c);
+    }
     cbox.clear();
   }
 }
 
 template <bool Sharded>
 void BufferedFabric::accept_injection(Cycle now, NodeId n, int tile) {
+  NOCSIM_SHARD_CHECK_WRITE(n, "injection (accept_injection)");
   auto& st = nodes_[n];
   (void)tile;
   Flit f = pending_inject_[n].flit;
@@ -258,6 +267,7 @@ void BufferedFabric::step(Cycle now) {
 
 template <bool Sharded>
 void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
+  NOCSIM_SHARD_CHECK_WRITE(n, "router state (route_node)");
   auto& st = nodes_[n];
   [[maybe_unused]] ShardTile* const ts =
       Sharded ? &shard_tiles_[static_cast<std::size_t>(tile)] : nullptr;
@@ -317,6 +327,7 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
       if (dt == tile) {
         tl.credit[(now + 1) % tl.credit.size()].push_back(cr);
       } else {
+        NOCSIM_SHARD_CHECK_HALO(tile, dt);
         tl.out_cred[static_cast<std::size_t>(dt)].push_back(cr);
       }
     } else {
@@ -406,6 +417,7 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
       if (dt == tile) {
         tl.wheel[(now + static_cast<Cycle>(hop_latency_)) % tl.wheel.size()].push_back(arr);
       } else {
+        NOCSIM_SHARD_CHECK_HALO(tile, dt);
         tl.out_arr[static_cast<std::size_t>(dt)].push_back(arr);
       }
     } else {

@@ -138,17 +138,22 @@ class BufferedFabric final : public Fabric {
     std::vector<std::vector<CreditReturn>> out_cred;  ///< [dst tile]
   };
 
-  bool torus_ = false;
+  bool torus_ NOCSIM_SHARED_READONLY = false;
 
-  std::vector<NodeState> nodes_;
-  std::vector<std::vector<LinkArrival>> wheel_;
-  std::vector<std::vector<CreditReturn>> credit_wheel_;
-  std::vector<TileLinks> tile_links_;  ///< empty unless sharded
+  std::vector<NodeState> nodes_ NOCSIM_TILE_LOCAL;  ///< FIFOs/credits, per node
+  /// Serial-path wheels; the sharded path uses tile_links_ instead, so these
+  /// are never written during phases.
+  std::vector<std::vector<LinkArrival>> wheel_ NOCSIM_SHARED_READONLY;
+  std::vector<std::vector<CreditReturn>> credit_wheel_ NOCSIM_SHARED_READONLY;
+  /// Per-tile wheels plus [dst tile] outboxes; only out_arr/out_cred carry
+  /// cross-tile effects (applied by the owner in shard_exchange).
+  std::vector<TileLinks> tile_links_ NOCSIM_TILE_LOCAL;
   /// Bitmap over nodes with flits_buffered != 0. Set on arrival delivery;
   /// a bit survives step() until its router drains, so blocked routers are
-  /// revisited every cycle but empty ones are never scanned.
-  std::vector<std::uint64_t> work_words_;
-  Cycle last_begun_ = ~Cycle{0};
+  /// revisited every cycle but empty ones are never scanned. Tile-local by
+  /// word range; boundary words are shared and use commutative atomic RMWs.
+  std::vector<std::uint64_t> work_words_ NOCSIM_TILE_LOCAL;
+  Cycle last_begun_ NOCSIM_SHARED_READONLY = ~Cycle{0};
 };
 
 }  // namespace nocsim

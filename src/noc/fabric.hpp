@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/shard.hpp"
+#include "common/shard_annotations.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/flit.hpp"
@@ -192,6 +193,7 @@ class Fabric {
   /// nodes — the slot is tile-owned, and the shared bitmap word is updated
   /// with a commutative atomic OR.
   void request_inject(NodeId n, const Flit& f) {
+    NOCSIM_SHARD_CHECK_WRITE(n, "injection slot (request_inject)");
     NOCSIM_DCHECK(!pending_inject_[n].requested);
     pending_inject_[n].flit = f;
     pending_inject_[n].requested = true;
@@ -322,6 +324,7 @@ class Fabric {
   };
 
   void eject_shard(NodeId at, const Flit& f, ShardTile& ts) {
+    NOCSIM_SHARD_CHECK_WRITE(at, "ejection (eject_shard)");
     --ts.net_delta;
     ts.ejects.push_back(ShardEject{at, f});
     if (sink_) sink_(at, f);
@@ -331,23 +334,28 @@ class Fabric {
     return !marking_.empty() && marking_[n];
   }
 
+  // Shard-ownership annotations (common/shard_annotations.hpp): tile-local
+  // state is writable per node only by the owning tile during phases;
+  // shared-readonly state is written from serial sections (ctor,
+  // shard_begin/shard_finish, the non-sharded step()) only.
   const Topology& topo_;
   const int hop_latency_;  ///< cycles from one router's input latch to the next's
-  std::vector<InjectSlot> pending_inject_;
+  std::vector<InjectSlot> pending_inject_ NOCSIM_TILE_LOCAL;
   /// Bitmap over nodes with a pending injection request; fabrics OR it into
   /// their arrival worklist in step() (and clear the consumed words) so an
   /// inject-only router is still visited without scanning every node.
-  std::vector<std::uint64_t> inject_words_;
-  std::vector<std::uint8_t> route_tab_;   ///< packed RoutePreference, or empty
-  std::vector<std::uint16_t> dist_tab_;   ///< hop distances, or empty
-  FabricStats stats_;
-  EjectSink sink_;
-  FlitEventSink* trace_ = nullptr;     ///< null = tracing off (fast path)
-  std::uint64_t in_network_ = 0;       ///< flits injected minus ejected
-  std::vector<std::uint64_t> node_deflections_;  ///< per-router, never reset
-  std::vector<std::uint8_t> marking_;  ///< empty unless distributed CC active
-  const ShardPlan* plan_ = nullptr;    ///< null = serial stepping
-  std::vector<ShardTile> shard_tiles_;  ///< one per tile when sharded
+  /// Boundary words are shared and use commutative atomic RMWs.
+  std::vector<std::uint64_t> inject_words_ NOCSIM_TILE_LOCAL;
+  std::vector<std::uint8_t> route_tab_ NOCSIM_SHARED_READONLY;   ///< packed RoutePreference
+  std::vector<std::uint16_t> dist_tab_ NOCSIM_SHARED_READONLY;   ///< hop distances, or empty
+  FabricStats stats_ NOCSIM_SHARED_READONLY;
+  EjectSink sink_ NOCSIM_SHARED_READONLY;
+  FlitEventSink* trace_ NOCSIM_SHARED_READONLY = nullptr;  ///< null = tracing off
+  std::uint64_t in_network_ NOCSIM_SHARED_READONLY = 0;    ///< flits injected minus ejected
+  std::vector<std::uint64_t> node_deflections_ NOCSIM_TILE_LOCAL;  ///< per-router
+  std::vector<std::uint8_t> marking_ NOCSIM_SHARED_READONLY;  ///< empty unless distributed CC
+  const ShardPlan* plan_ NOCSIM_SHARED_READONLY = nullptr;    ///< null = serial stepping
+  std::vector<ShardTile> shard_tiles_ NOCSIM_TILE_LOCAL;  ///< one per tile when sharded
 };
 
 }  // namespace nocsim

@@ -118,6 +118,7 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
 }
 
 void Simulator::sync_ni(NodeId n, Cycle upto) {
+  NOCSIM_SHARD_CHECK_WRITE(n, "ni bookkeeping (sync_ni)");
   Ni& ni = nis_[n];
   if (ni.synced_to >= upto) return;
   const Cycle k = upto - ni.synced_to;
@@ -163,6 +164,7 @@ void Simulator::enqueue_packet(FlitRing& q, NodeId src, NodeId dst, PacketKind k
 }
 
 void Simulator::on_miss(NodeId n, Addr block) {
+  NOCSIM_SHARD_CHECK_WRITE(n, "miss bookkeeping (on_miss)");
   const NodeId home = mapper_->home(n, block);
   if (home == n) {
     // Local slice: no network traversal, just the L2 service latency. Under
@@ -192,6 +194,7 @@ void Simulator::on_miss(NodeId n, Addr block) {
 }
 
 void Simulator::on_flit_ejected(NodeId at, const Flit& f) {
+  NOCSIM_SHARD_CHECK_WRITE(at, "ejection sink (on_flit_ejected)");
   nis_[at].reassembly.on_flit(f, now_);
   if (!measuring_) return;
   // Latency distributions (per-flit, like the fabric's mean accumulators).
@@ -223,6 +226,7 @@ void Simulator::on_flit_ejected(NodeId at, const Flit& f) {
 }
 
 void Simulator::on_packet(NodeId at, const Flit& header) {
+  NOCSIM_SHARD_CHECK_WRITE(at, "packet sink (on_packet)");
   switch (header.kind) {
     case PacketKind::Request:
       // Perfect shared L2: always hits; respond after the service latency.
@@ -280,9 +284,11 @@ void Simulator::deliver_l2_shard(Cycle now, int tile) {
   // The slot is cleared once, in the serial part of step_sharded — pushes
   // made this cycle target a different slot (l2_latency % (l2_latency + 1)
   // != 0), so the stale entries are never re-read.
+  NOCSIM_PHASE("deliver");
   const auto& due = l2_wheel_[now % l2_wheel_.size()];
   for (const PendingL2& p : due) {
     if (!plan_->owns(tile, p.home)) continue;
+    NOCSIM_SHARD_CHECK_WRITE(p.home, "l2 delivery (deliver_l2_shard)");
     if (p.home == p.requester) {
       cores_[p.requester]->on_fill(p.block, now);
       continue;
@@ -295,6 +301,7 @@ void Simulator::deliver_l2_shard(Cycle now, int tile) {
 }
 
 void Simulator::ni_inject(NodeId n) {
+  NOCSIM_SHARD_CHECK_WRITE(n, "ni injection (ni_inject)");
   Ni& ni = nis_[n];
   NOCSIM_DCHECK(ni.synced_to == now_);
   ni.synced_to = now_ + 1;
@@ -428,6 +435,7 @@ void Simulator::inject_tile(int tile) {
   // Tile-masked walk of the injection worklist, same snapshot-then-scan
   // shape as the serial loop. The load sees this thread's own wakes from
   // deliver_l2_shard; other tiles only touch other bits of shared words.
+  NOCSIM_PHASE("deliver");
   const std::size_t whi = plan_->word_hi(tile);
   for (std::size_t w = plan_->word_lo(tile); w < whi; ++w) {
     std::uint64_t bits =
@@ -449,13 +457,21 @@ void Simulator::step_sharded() {
   // serial ascending-node order because tiles are contiguous row strips.
   fabric_->shard_begin(now_);
   team_->run([this](int t) {
+    NOCSIM_PHASE("deliver", &*plan_, t);
     fabric_->shard_deliver(now_, t);
     deliver_l2_shard(now_, t);
     inject_tile(t);
   });
-  team_->run([this](int t) { fabric_->shard_route(now_, t); });
-  team_->run([this](int t) { fabric_->shard_exchange(now_, t); });
   team_->run([this](int t) {
+    NOCSIM_PHASE("route", &*plan_, t);
+    fabric_->shard_route(now_, t);
+  });
+  team_->run([this](int t) {
+    NOCSIM_PHASE("exchange", &*plan_, t);
+    fabric_->shard_exchange(now_, t);
+  });
+  team_->run([this](int t) {
+    NOCSIM_PHASE("core", &*plan_, t);
     const ShardPlan::TileRange r = plan_->range(t);
     for (NodeId i = r.lo; i < r.hi; ++i) {
       if (cores_[i]) cores_[i]->step(now_);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/shard.hpp"
+#include "common/shard_annotations.hpp"
 #include "common/shard_team.hpp"
 #include "core/controller.hpp"
 #include "core/distributed.hpp"
@@ -133,22 +134,28 @@ class Simulator {
   void begin_measurement();
   SimResult collect(Cycle measured_cycles);
 
-  SimConfig config_;
-  WorkloadSpec workload_;
-  std::unique_ptr<Topology> topo_;
-  std::unique_ptr<Fabric> fabric_;
-  std::unique_ptr<L2Mapper> mapper_;
-  std::unique_ptr<CongestionController> controller_;
-  std::optional<DistributedCoordinator> distributed_;
+  // Shard-ownership annotations (common/shard_annotations.hpp) feed
+  // tools/nocsim_lint's cross-file symbol table: phase bodies may write
+  // TILE_LOCAL state only for nodes the running tile owns (runtime-checked
+  // under NOCSIM_SHARD_CHECK), SHARED_READONLY state only from serial
+  // sections, and cross-tile effects only through a fabric halo outbox.
+  SimConfig config_ NOCSIM_SHARED_READONLY;
+  WorkloadSpec workload_ NOCSIM_SHARED_READONLY;
+  std::unique_ptr<Topology> topo_ NOCSIM_SHARED_READONLY;
+  std::unique_ptr<Fabric> fabric_ NOCSIM_SHARED_READONLY;
+  std::unique_ptr<L2Mapper> mapper_ NOCSIM_SHARED_READONLY;
+  std::unique_ptr<CongestionController> controller_ NOCSIM_SHARED_READONLY;
+  std::optional<DistributedCoordinator> distributed_ NOCSIM_SHARED_READONLY;
 
-  std::vector<std::unique_ptr<Core>> cores_;  ///< null entry = idle node
-  std::vector<Ni> nis_;
+  std::vector<std::unique_ptr<Core>> cores_ NOCSIM_TILE_LOCAL;  ///< null entry = idle node
+  std::vector<Ni> nis_ NOCSIM_TILE_LOCAL;
   /// Bitmap over NIs with a non-empty queue: the step() injection loop walks
   /// only these. Disabled (full scan) under distributed CC, whose per-cycle
   /// rate updates make every NI-cycle observable. Bits are set by wake_ni
-  /// and cleared by ni_inject when a node's queues drain.
-  std::vector<std::uint64_t> ni_work_;
-  std::vector<std::vector<PendingL2>> l2_wheel_;
+  /// and cleared by ni_inject when a node's queues drain. Tile-local by
+  /// word range; boundary words are shared and use commutative atomic RMWs.
+  std::vector<std::uint64_t> ni_work_ NOCSIM_TILE_LOCAL;
+  std::vector<std::vector<PendingL2>> l2_wheel_ NOCSIM_SHARED_READONLY;
 
   /// Per-tile scratch for the sharded cycle loop. Order-sensitive side
   /// effects produced on tile threads are buffered here and folded serially
@@ -161,31 +168,32 @@ class Simulator {
     LatencyHistograms lat_all;        ///< histogram adds are exactly commutative
     std::array<LatencyHistograms, kNumIntensityClasses> lat_class;
   };
-  bool sharded_ = false;
-  std::optional<ShardPlan> plan_;
-  std::unique_ptr<ShardTeam> team_;
-  std::vector<SimTile> tiles_;
+  bool sharded_ NOCSIM_SHARED_READONLY = false;
+  std::optional<ShardPlan> plan_ NOCSIM_SHARED_READONLY;
+  std::unique_ptr<ShardTeam> team_ NOCSIM_SHARED_READONLY;
+  std::vector<SimTile> tiles_ NOCSIM_TILE_LOCAL;
 
-  std::vector<NodeTelemetry> telemetry_;
-  std::vector<double> staged_rates_;
+  std::vector<NodeTelemetry> telemetry_ NOCSIM_SHARED_READONLY;
+  std::vector<double> staged_rates_ NOCSIM_SHARED_READONLY;
 
-  Cycle now_ = 0;
-  std::uint64_t epoch_hops_at_last_ = 0;      ///< hop-inflation deltas per epoch
-  std::uint64_t epoch_min_hops_at_last_ = 0;
-  bool measuring_ = false;
-  Cycle measure_start_ = 0;
-  std::uint64_t epochs_at_measure_start_ = 0;
-  std::uint64_t congested_epochs_at_measure_start_ = 0;
+  Cycle now_ NOCSIM_SHARED_READONLY = 0;
+  std::uint64_t epoch_hops_at_last_ NOCSIM_SHARED_READONLY = 0;  ///< hop-inflation deltas
+  std::uint64_t epoch_min_hops_at_last_ NOCSIM_SHARED_READONLY = 0;
+  bool measuring_ NOCSIM_SHARED_READONLY = false;
+  Cycle measure_start_ NOCSIM_SHARED_READONLY = 0;
+  std::uint64_t epochs_at_measure_start_ NOCSIM_SHARED_READONLY = 0;
+  std::uint64_t congested_epochs_at_measure_start_ NOCSIM_SHARED_READONLY = 0;
 
-  std::vector<std::vector<double>> epoch_ipf_;  ///< [node][epoch] when recorded
+  /// [node][epoch] when recorded
+  std::vector<std::vector<double>> epoch_ipf_ NOCSIM_SHARED_READONLY;
 
   // Telemetry (see attach_telemetry). node_class_ maps node -> intensity
   // class index, -1 for idle and file-trace nodes.
-  TelemetryHub* hub_ = nullptr;
-  Cycle hub_period_ = 0;
-  LatencyHistograms lat_all_;
-  std::array<LatencyHistograms, kNumIntensityClasses> lat_class_;
-  std::vector<int> node_class_;
+  TelemetryHub* hub_ NOCSIM_SHARED_READONLY = nullptr;
+  Cycle hub_period_ NOCSIM_SHARED_READONLY = 0;
+  LatencyHistograms lat_all_ NOCSIM_SHARED_READONLY;
+  std::array<LatencyHistograms, kNumIntensityClasses> lat_class_ NOCSIM_SHARED_READONLY;
+  std::vector<int> node_class_ NOCSIM_SHARED_READONLY;
 };
 
 }  // namespace nocsim

@@ -1,0 +1,47 @@
+// Lint fixture: sharded-discipline code that must produce ZERO findings,
+// even under --sim-state — not compiled. Exercises every sanctioned
+// pattern: tile-local writes, a phase-owned write from the owning phase,
+// an owns()-guarded neighbor index, halo-outbox staging, and serial writes
+// to shared-readonly state outside any phase.
+#include <vector>
+
+struct ShardTeam {
+  template <class F>
+  void run(F&&) {}
+};
+
+struct Plan {
+  bool owns(int tile, int node) const;
+  int tile_of(int node) const;
+};
+
+class Engine {
+ public:
+  void cycle(const Plan* plan);
+
+ private:
+  unsigned long long now_ NOCSIM_SHARED_READONLY = 0;
+  std::vector<int> latch_ NOCSIM_TILE_LOCAL;
+  std::vector<int> outbox_ NOCSIM_HALO_ONLY;
+  double rate_ NOCSIM_PHASE_OWNED("finish") = 0.0;
+  ShardTeam team_;
+  int neighbor(int n) const;
+};
+
+void Engine::cycle(const Plan* plan) {
+  team_.run([&](int t) {
+    NOCSIM_PHASE("route", plan, t);
+    latch_[t] = 1;  // tile-local, own index
+    const int next = neighbor(t);
+    if (plan->owns(t, next)) {
+      latch_[next] = 2;  // neighbor index behind an ownership guard
+    } else {
+      outbox_[plan->tile_of(next)] = next;  // halo staging for the owner
+    }
+  });
+  team_.run([&](int t) {
+    NOCSIM_PHASE("finish", plan, t);
+    rate_ = 0.25;  // written by exactly the phase that owns it
+  });
+  ++now_;  // serial section between/after phases
+}

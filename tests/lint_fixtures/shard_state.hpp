@@ -1,0 +1,23 @@
+// Lint fixture companion: declares the annotated shard state and the team
+// variable that trigger_shard_unsafe_write.cpp writes to. The two files are
+// passed to the linter *together*, so pass 1 builds the symbol table from
+// this header and pass 2 classifies the .cpp's writes against it — the
+// cross-TU behaviour under test. Not compiled.
+#include <vector>
+
+struct ShardTeam {
+  template <class F>
+  void run(F&&) {}
+};
+
+class Engine {
+ public:
+  void cycle(const void* plan, int tile);
+
+ private:
+  unsigned long long now_ NOCSIM_SHARED_READONLY = 0;
+  std::vector<int> credits_ NOCSIM_TILE_LOCAL;
+  std::vector<int> outbox_ NOCSIM_HALO_ONLY;
+  double rate_ NOCSIM_PHASE_OWNED("finish") = 0.0;
+  ShardTeam team_;
+};

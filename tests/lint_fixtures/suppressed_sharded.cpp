@@ -1,0 +1,26 @@
+// Lint fixture: every shard-rule hazard carries a well-formed allow
+// directive, so the file must produce ZERO findings — not compiled.
+#include <memory>
+
+struct ShardTeam {
+  template <class F>
+  void run(F&&) {}
+};
+
+struct Engine {
+  ShardTeam team;
+  unsigned long long seq_ NOCSIM_SHARED_READONLY = 0;
+
+  void cycle(const void* plan) {
+    // nocsim-lint: allow(unannotated-phase): one-shot warmup body with no per-node writes.
+    team.run([&](int t) { (void)t; });
+    team.run([&](int t) {
+      NOCSIM_PHASE("drain", plan, t);
+      // nocsim-lint: allow(shard-unsafe-write): drain runs tiles one at a time.
+      ++seq_;
+      // nocsim-lint: allow(alloc-in-phase): drain happens once at shutdown, not per cycle.
+      auto grave = std::make_unique<int>(t);
+      (void)grave;
+    });
+  }
+};

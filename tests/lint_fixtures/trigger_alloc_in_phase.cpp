@@ -1,0 +1,31 @@
+// Lint fixture: must trigger [alloc-in-phase] four times (new, malloc,
+// make_unique, resize); the reserve() outside any phase is clean — not
+// compiled. scratch_ is annotated tile-local so only the allocation rule
+// fires on it, not shard-unsafe-write.
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+struct ShardTeam {
+  template <class F>
+  void run(F&&) {}
+};
+
+struct Engine {
+  ShardTeam team;
+  std::vector<int> scratch_ NOCSIM_TILE_LOCAL;
+
+  void cycle(const void* plan) {
+    team.run([&](int t) {
+      NOCSIM_PHASE("core", plan, t);
+      int* raw = new int[64];
+      void* c = malloc(64);
+      auto boxed = std::make_unique<int>(t);
+      scratch_.resize(64);
+      (void)raw;
+      (void)c;
+      (void)boxed;
+    });
+    scratch_.reserve(128);  // serial setup: allocation is fine here
+  }
+};

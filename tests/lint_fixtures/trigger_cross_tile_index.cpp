@@ -1,0 +1,31 @@
+// Lint fixture: must trigger [cross-tile-index] twice (a direct neighbor
+// index and a local assigned from neighbor()), while the owns()-guarded
+// write stays clean — not compiled.
+#include <vector>
+
+struct ShardTeam {
+  template <class F>
+  void run(F&&) {}
+};
+
+struct Plan {
+  bool owns(int tile, int node) const;
+};
+
+struct Engine {
+  ShardTeam team;
+  std::vector<int> latch_ NOCSIM_TILE_LOCAL;
+  int neighbor(int n) const { return n + 1; }
+
+  void cycle(const Plan* plan) {
+    team.run([&](int t) {
+      NOCSIM_PHASE("route", plan, t);
+      latch_[neighbor(t)] = 1;  // direct neighbor-derived index, no guard
+      int next = neighbor(t);
+      latch_[next] = 2;         // tainted local, still no guard
+      if (plan->owns(t, next)) {
+        latch_[next] = 3;       // guarded: the sanctioned dance, no finding
+      }
+    });
+  }
+};

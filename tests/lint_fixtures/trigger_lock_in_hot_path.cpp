@@ -1,0 +1,27 @@
+// Lint fixture: [lock-in-hot-path]. The mutex inside a phase body triggers
+// in any file; the pthread mutex in serial reporting code triggers only
+// under --hot-path. So: 1 finding without the flag, 2 with it. Not compiled.
+#include <mutex>
+#include <pthread.h>
+
+struct ShardTeam {
+  template <class F>
+  void run(F&&) {}
+};
+
+struct Engine {
+  ShardTeam team;
+
+  void cycle(const void* plan) {
+    team.run([&](int t) {
+      NOCSIM_PHASE("exchange", plan, t);
+      std::mutex m;  // blocking sync inside a phase: always a finding
+      (void)m;
+    });
+  }
+
+  void report() {
+    pthread_mutex_t log_lock{};  // serial code: a finding only in hot-path files
+    (void)log_lock;
+  }
+};

@@ -1,0 +1,13 @@
+// Lint fixture: must trigger [raw-entropy] for the shuffle/rand_r family
+// (three distinct sources) — not compiled.
+#include <algorithm>
+#include <cstdlib>
+
+struct Urbg;
+
+void permute(int* first, int* last, unsigned* state, Urbg& gen) {
+  std::shuffle(first, last, gen);
+  std::random_shuffle(first, last);
+  const int r = rand_r(state);
+  (void)r;
+}

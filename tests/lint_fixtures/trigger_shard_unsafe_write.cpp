@@ -1,0 +1,16 @@
+// Lint fixture: must trigger [shard-unsafe-write] three ways when linted
+// together with shard_state.hpp (which owns the annotations) — not compiled.
+// The tile-local write to credits_ is legal and must NOT be reported: the
+// cross-file table is what tells the linter so.
+#include "shard_state.hpp"
+
+void Engine::cycle(const void* plan, int tile) {
+  (void)tile;
+  team_.run([&](int t) {
+    NOCSIM_PHASE("route", plan, t);
+    ++now_;           // shared-readonly state written inside a phase
+    rate_ = 0.5;      // owned by phase 'finish', written from 'route'
+    backlog_ += t;    // member-convention name the table cannot classify
+    credits_[t] = 1;  // tile-local: the sanctioned write, no finding
+  });
+}

@@ -1,0 +1,17 @@
+// Lint fixture: must trigger [unannotated-phase] exactly once — not
+// compiled. The second run() body declares its phase and is clean.
+struct ShardTeam {
+  template <class F>
+  void run(F&&) {}
+};
+
+struct Engine {
+  ShardTeam team;
+  void cycle(const void* plan) {
+    team.run([&](int t) { (void)t; });  // no NOCSIM_PHASE: unauditable body
+    team.run([&](int t) {
+      NOCSIM_PHASE("route", plan, t);
+      (void)t;
+    });
+  }
+};

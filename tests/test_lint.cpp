@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -23,12 +24,10 @@ struct LintRun {
   std::string output;
 };
 
-/// Runs the lint binary on one fixture (as sim-state code) and captures
-/// stdout+stderr and the exit status.
-LintRun run_lint(const std::string& fixture, bool sim_state = true, bool hot_path = false) {
-  const std::string cmd = std::string(NOCSIM_LINT_BIN) + (sim_state ? " --sim-state" : "") +
-                          (hot_path ? " --hot-path" : "") + " " + NOCSIM_LINT_FIXTURE_DIR "/" +
-                          fixture + " 2>&1";
+/// Runs the lint binary with raw arguments and captures stdout+stderr and
+/// the exit status.
+LintRun run_lint_cmd(const std::string& args) {
+  const std::string cmd = std::string(NOCSIM_LINT_BIN) + " " + args + " 2>&1";
   LintRun run;
   FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return run;
@@ -38,6 +37,20 @@ LintRun run_lint(const std::string& fixture, bool sim_state = true, bool hot_pat
   const int status = pclose(pipe);
   run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return run;
+}
+
+/// Runs the lint binary on a set of fixtures in one invocation (one shared
+/// symbol table — the cross-TU path).
+LintRun run_lint_files(const std::vector<std::string>& fixtures, bool sim_state = true,
+                       bool hot_path = false) {
+  std::string args = std::string(sim_state ? "--sim-state " : "") + (hot_path ? "--hot-path " : "");
+  for (const std::string& f : fixtures) args += NOCSIM_LINT_FIXTURE_DIR "/" + f + " ";
+  return run_lint_cmd(args);
+}
+
+/// Runs the lint binary on one fixture (as sim-state code).
+LintRun run_lint(const std::string& fixture, bool sim_state = true, bool hot_path = false) {
+  return run_lint_files({fixture}, sim_state, hot_path);
 }
 
 int count_rule(const std::string& output, const std::string& rule) {
@@ -121,6 +134,92 @@ TEST(Lint, MalformedDirectivesTrigger) {
   // reason must NOT suppress the rand() finding it sits above.
   EXPECT_EQ(count_rule(run.output, "bad-directive"), 2) << run.output;
   EXPECT_EQ(count_rule(run.output, "raw-entropy"), 1) << run.output;
+}
+
+TEST(Lint, RawEntropyShuffleFamilyTriggers) {
+  const LintRun run = run_lint("trigger_raw_entropy_shuffle.cpp", /*sim_state=*/false);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // std::shuffle + std::random_shuffle + rand_r.
+  EXPECT_EQ(count_rule(run.output, "raw-entropy"), 3) << run.output;
+}
+
+TEST(Lint, ShardUnsafeWriteUsesTheCrossFileSymbolTable) {
+  // The annotations live in shard_state.hpp, the writes in the .cpp: one
+  // shared invocation must classify each write precisely.
+  const LintRun run = run_lint_files({"shard_state.hpp", "trigger_shard_unsafe_write.cpp"});
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run.output, "shard-unsafe-write"), 3) << run.output;
+  EXPECT_NE(run.output.find("NOCSIM_SHARED_READONLY"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("owned by phase 'finish'"), std::string::npos) << run.output;
+  // The tile-local write (credits_) is the sanctioned path: no finding.
+  EXPECT_EQ(run.output.find("credits_"), std::string::npos) << run.output;
+}
+
+TEST(Lint, ShardUnsafeWriteWithoutTheTableFallsBackToUnclassified) {
+  // Linting the .cpp alone demonstrates why the table is cross-file: every
+  // member write degrades to the "not classified" finding, including the
+  // tile-local one that the header would have legalized.
+  const LintRun run = run_lint("trigger_shard_unsafe_write.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run.output, "shard-unsafe-write"), 4) << run.output;
+  EXPECT_NE(run.output.find("credits_"), std::string::npos) << run.output;
+}
+
+TEST(Lint, UnannotatedPhaseTriggers) {
+  const LintRun run = run_lint("trigger_unannotated_phase.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Only the phase-less body; the NOCSIM_PHASE-carrying one is clean.
+  EXPECT_EQ(count_rule(run.output, "unannotated-phase"), 1) << run.output;
+}
+
+TEST(Lint, CrossTileIndexTriggers) {
+  const LintRun run = run_lint("trigger_cross_tile_index.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Direct neighbor(t) index + the tainted local; the owns()-guarded write
+  // must not count.
+  EXPECT_EQ(count_rule(run.output, "cross-tile-index"), 2) << run.output;
+}
+
+TEST(Lint, AllocInPhaseTriggers) {
+  const LintRun run = run_lint("trigger_alloc_in_phase.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // new + malloc + make_unique + resize; the serial reserve() is clean.
+  EXPECT_EQ(count_rule(run.output, "alloc-in-phase"), 4) << run.output;
+}
+
+TEST(Lint, LockInsidePhaseTriggersEverywhere) {
+  const LintRun run = run_lint("trigger_lock_in_hot_path.cpp", /*sim_state=*/false);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Only the mutex inside the phase body; serial code may lock here.
+  EXPECT_EQ(count_rule(run.output, "lock-in-hot-path"), 1) << run.output;
+}
+
+TEST(Lint, LockInHotPathFilesTriggersInSerialCodeToo) {
+  const LintRun run =
+      run_lint("trigger_lock_in_hot_path.cpp", /*sim_state=*/false, /*hot_path=*/true);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_EQ(count_rule(run.output, "lock-in-hot-path"), 2) << run.output;
+}
+
+TEST(Lint, CleanShardedFixturePasses) {
+  const LintRun run = run_lint("clean_sharded.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("0 finding(s)"), std::string::npos) << run.output;
+}
+
+TEST(Lint, ShardRuleSuppressionsSuppress) {
+  const LintRun run = run_lint("suppressed_sharded.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("0 finding(s)"), std::string::npos) << run.output;
+}
+
+TEST(Lint, ListRulesIncludesTheShardRules) {
+  const LintRun run = run_lint_cmd("--list-rules");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  for (const char* rule : {"shard-unsafe-write", "unannotated-phase", "cross-tile-index",
+                           "alloc-in-phase", "lock-in-hot-path"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos) << rule << "\n" << run.output;
+  }
 }
 
 TEST(Lint, CleanFixturePasses) {

@@ -12,10 +12,13 @@
 #include <vector>
 
 #include "common/shard.hpp"
+#include "common/shard_annotations.hpp"
 #include "golden_util.hpp"
+#include "noc/bless_fabric.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "telemetry/telemetry.hpp"
+#include "topology/topology.hpp"
 
 namespace nocsim {
 namespace {
@@ -190,6 +193,94 @@ TEST(ShardedDeterminism, DistributedCcFallsBackToSerial) {
   };
   EXPECT_EQ(run_dist(4), run_dist(1));
 }
+
+// --- runtime shadow checker (common/shard_check.hpp) -----------------------
+// Drive the bless fabric to stage a genuine cross-tile halo write, then
+// apply the *destination* tile's inbox while claiming (via the phase scope)
+// to be the source tile. Under NOCSIM_SHARD_CHECK that apply writes a
+// node the claimed tile does not own and must abort; in a release build the
+// identical sequence runs to completion — the apply itself is a perfectly
+// valid halo delivery, only its attribution is corrupted.
+void drive_corrupted_halo_apply() {
+  Mesh mesh(4, 4);
+  const ShardPlan plan(4, 4, 2);  // tile 0: nodes 0-7, tile 1: nodes 8-15
+  BlessFabric fabric(mesh, /*router_latency=*/1, /*link_latency=*/1);
+  fabric.set_eject_sink([](NodeId, const Flit&) {});
+  fabric.set_shard_plan(&plan);
+
+  // A flit at node 4 = (0,1) headed for node 12 = (0,3): its first hop
+  // lands on node 8 = (0,2), which tile 1 owns, so routing tile 0 stages a
+  // HaloWrite in halo_[0][1] instead of touching tile 1's latches.
+  Flit f;
+  f.src = 4;
+  f.dst = 12;
+  const Cycle now = 0;
+  fabric.shard_begin(now);
+  ASSERT_TRUE(fabric.can_accept(4));
+  fabric.request_inject(4, f);
+  {
+    NOCSIM_PHASE("route", &plan, 0);
+    fabric.shard_route(now, 0);
+  }
+  {
+    // The corruption: tile 1's inbox applied under tile 0's identity.
+    NOCSIM_PHASE("exchange", &plan, 0);
+    fabric.shard_exchange(now, 1);
+  }
+}
+
+#if defined(NOCSIM_SHARD_CHECK)
+
+TEST(ShardShadowChecker, OwnedAndSerialWritesPass) {
+  const ShardPlan plan(4, 4, 2);
+  // No phase scope: serial sections may touch any node.
+  NOCSIM_SHARD_CHECK_WRITE(13, "serial write");
+  {
+    const shardcheck::PhaseScope scope(&plan, 0, "route");
+    NOCSIM_SHARD_CHECK_WRITE(3, "owned write");  // tile 0 owns rows 0-1
+    NOCSIM_SHARD_CHECK_HALO(0, 1);               // staging toward the other tile
+  }
+  {
+    const shardcheck::PhaseScope scope(&plan, 1, "route");
+    NOCSIM_SHARD_CHECK_WRITE(12, "owned write");  // tile 1 owns rows 2-3
+  }
+  // Scope restored on exit: serial again.
+  NOCSIM_SHARD_CHECK_WRITE(0, "serial write");
+}
+
+TEST(ShardShadowCheckerDeathTest, ForeignWriteAborts) {
+  const ShardPlan plan(4, 4, 2);
+  EXPECT_DEATH(
+      {
+        const shardcheck::PhaseScope scope(&plan, 0, "route");
+        NOCSIM_SHARD_CHECK_WRITE(12, "foreign write");  // tile 1's node
+      },
+      "shard-safety");
+}
+
+TEST(ShardShadowCheckerDeathTest, MisattributedHaloAborts) {
+  const ShardPlan plan(4, 4, 2);
+  EXPECT_DEATH(
+      {
+        const shardcheck::PhaseScope scope(&plan, 1, "route");
+        NOCSIM_SHARD_CHECK_HALO(0, 1);  // claims src tile 0 while tile 1 runs
+      },
+      "shard-safety");
+}
+
+TEST(ShardShadowCheckerDeathTest, CorruptedHaloApplyTripsTheChecker) {
+  EXPECT_DEATH(drive_corrupted_halo_apply(), "shard-safety");
+}
+
+#else  // !NOCSIM_SHARD_CHECK
+
+TEST(ShardShadowChecker, CorruptedHaloApplyRunsToCompletionInRelease) {
+  // Without the checker there is nothing to trip: the sequence is a valid
+  // (if misattributed) halo apply and must finish normally.
+  drive_corrupted_halo_apply();
+}
+
+#endif  // NOCSIM_SHARD_CHECK
 
 }  // namespace
 }  // namespace nocsim

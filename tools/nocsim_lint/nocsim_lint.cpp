@@ -1,21 +1,35 @@
-// nocsim-lint — repo-native determinism & correctness linter.
+// nocsim-lint — repo-native determinism & shard-safety linter.
 //
 // The simulator's headline guarantee is that metrics are a pure function of
-// (config, seed): bit-identical across --jobs values, machines, and reruns.
-// That guarantee rests on coding discipline no compiler enforces — never
-// iterate an unordered container in a metrics-visible path, never draw
-// entropy outside the seeded Rng, never key a sort on pointer values. This
-// tool machine-checks those invariants at the token level (no libclang
-// dependency) and runs as a tier-1 ctest, so a violation fails the build
-// instead of waiting for a reviewer to notice a figure stopped reproducing.
+// (config, seed): bit-identical across --jobs values, --shards values,
+// machines, and reruns. That guarantee rests on coding discipline no
+// compiler enforces — never iterate an unordered container in a
+// metrics-visible path, never draw entropy outside the seeded Rng, never
+// write another tile's state from a phase body. This tool machine-checks
+// those invariants at the token level (no libclang dependency) and runs as
+// a tier-1 ctest, so a violation fails the build instead of waiting for a
+// reviewer to notice a figure stopped reproducing.
+//
+// It runs in two passes. Pass 1 walks every input file and builds a
+// cross-file symbol table from the annotation vocabulary in
+// src/common/shard_annotations.hpp: which members are NOCSIM_TILE_LOCAL /
+// NOCSIM_SHARED_READONLY / NOCSIM_HALO_ONLY / NOCSIM_PHASE_OWNED, and
+// which variables are ShardTeam instances. Pass 2 re-walks each file and
+// applies the rules, consulting the table — so a phase body in
+// simulator.cpp is checked against annotations declared in simulator.hpp.
+// The table is keyed by symbol name (this is a token-level analyzer, not a
+// C++ front end): two members of the same name in different classes must
+// carry the same annotation, and the linter reports a conflict otherwise.
 //
 // Rules (see --list-rules):
 //   unordered-iter    iteration over an unordered container (order is
 //                     hash/allocation dependent and may leak into metrics)
 //   unordered-member  unordered container declared in sim-state code
-//                     (src/noc, src/sim, src/core, src/cpu)
-//   raw-entropy       rand()/srand()/std::random_device/std::mt19937/... —
-//                     all randomness must flow through src/common/rng.hpp
+//                     (src/noc, src/sim, src/core, src/cpu, src/telemetry,
+//                     bench)
+//   raw-entropy       rand()/rand_r()/std::random_device/std::mt19937/
+//                     std::shuffle/... — all randomness must flow through
+//                     src/common/rng.hpp
 //   wallclock         time()/clock()/std::chrono::*_clock::now() — wall time
 //                     must never influence simulated behaviour
 //   pointer-sort      sort/min_element/... comparator keyed on raw pointer
@@ -28,7 +42,18 @@
 //                     (src/noc, src/core): stream I/O in the router/core loop
 //                     wrecks throughput; route output through a telemetry
 //                     sink (src/telemetry) instead
-//   bad-directive     malformed nocsim-lint control comment
+//   shard-unsafe-write  a NOCSIM_PHASE body writes shared-read-only or
+//                     unclassified member state; cross-tile effects must go
+//                     through a NOCSIM_HALO_ONLY outbox
+//   unannotated-phase ShardTeam::run body with no NOCSIM_PHASE declaration
+//   cross-tile-index  NOCSIM_TILE_LOCAL array indexed by a neighbor-derived
+//                     node id with no ownership guard (owns()/tile_of())
+//   alloc-in-phase    new/malloc/make_unique/resize/reserve inside a phase
+//                     body: phases must be steady-state allocation-free
+//   lock-in-hot-path  blocking synchronization (mutex/lock_guard/...) in
+//                     per-cycle code or a phase body: the sharded loop
+//                     synchronizes via spin barriers and halo outboxes only
+//   bad-directive     malformed nocsim-lint control comment or annotation
 //
 // Suppression: a finding is silenced only by an inline directive
 //     // nocsim-lint: allow(<rule>[, <rule>...]): <reason>
@@ -54,6 +79,8 @@ const std::set<std::string>& known_rules() {
       "unordered-iter", "unordered-member", "raw-entropy",
       "wallclock",      "pointer-sort",     "narrow-cast",
       "mutable-global", "iostream-in-hot-path", "bad-directive",
+      "shard-unsafe-write", "unannotated-phase", "cross-tile-index",
+      "alloc-in-phase", "lock-in-hot-path",
   };
   return rules;
 }
@@ -73,9 +100,12 @@ struct Allow {
 // Per-file view after lexical preprocessing: `code` mirrors the original
 // byte-for-byte except comments, string/char literals, and preprocessor
 // directives are blanked to spaces (so offsets and line numbers survive);
-// `comment_text` holds each line's comment payload for directive parsing.
+// `raw` keeps the unmodified source at the same offsets (so string
+// payloads — NOCSIM_PHASE("name") — stay readable); `comment_text` holds
+// each line's comment payload for directive parsing.
 struct Stripped {
   std::string code;                       // '\n'-joined blanked source
+  std::string raw;                        // original source, same offsets
   std::vector<std::string> comment_text;  // per line, 0-based
   std::vector<std::size_t> line_offset;   // offset of each line start in code
 };
@@ -85,6 +115,7 @@ bool is_ident(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 
 Stripped strip(const std::string& src) {
   Stripped out;
   out.code.reserve(src.size());
+  out.raw = src;
   out.comment_text.emplace_back();
   out.line_offset.push_back(0);
 
@@ -264,6 +295,25 @@ std::size_t skip_ws(const std::string& code, std::size_t pos) {
   return pos;
 }
 
+// Last non-whitespace offset strictly before `pos`, or npos.
+std::size_t prev_nonspace(const std::string& code, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(code[pos])) == 0) return pos;
+  }
+  return std::string::npos;
+}
+
+// Identifier whose last character sits at or before `pos` after skipping
+// whitespace backwards; empty if the preceding token is not an identifier.
+std::string ident_ending_before(const std::string& code, std::size_t pos) {
+  const std::size_t last = prev_nonspace(code, pos);
+  if (last == std::string::npos || !is_ident(code[last])) return "";
+  std::size_t b = last;
+  while (b > 0 && is_ident(code[b - 1])) --b;
+  return code.substr(b, last - b + 1);
+}
+
 // Matches `<...>` starting at `pos` (which must point at '<'); returns the
 // offset just past the matching '>', or npos if unbalanced.
 std::size_t match_template_args(const std::string& code, std::size_t pos) {
@@ -279,11 +329,189 @@ std::size_t match_template_args(const std::string& code, std::size_t pos) {
   return std::string::npos;
 }
 
+// Matches a bracket pair starting at `pos` (which must point at `open`);
+// returns the offset of the matching `close`, or npos.
+std::size_t match_delim(const std::string& code, std::size_t pos, char open, char close) {
+  int depth = 0;
+  for (std::size_t i = pos; i < code.size(); ++i) {
+    if (code[i] == open) ++depth;
+    if (code[i] == close) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+// --- cross-file symbol table ------------------------------------------------
+// Built in pass 1 from the annotation macros; consulted by the shard rules
+// in pass 2. Name-keyed: the analyzer has no notion of which class a member
+// belongs to, so annotation kinds must be consistent per name repo-wide.
+struct SymbolTable {
+  std::map<std::string, std::string> annotated;     // name -> tile-local|shared-readonly|halo-only
+  std::map<std::string, std::string> phase_owner;   // name -> owning phase
+  std::set<std::string> team_vars;                  // ShardTeam instances
+};
+
+// A NOCSIM_PHASE region: the innermost brace block containing the marker.
+struct PhaseRegion {
+  std::size_t begin = 0;  // offset just past '{'
+  std::size_t end = 0;    // offset of matching '}'
+  std::string name;       // phase name from the string literal
+};
+
+// String literal payload of the first "..." in `raw` after `from` but
+// before `until`; empty if none.
+std::string quoted_arg(const std::string& raw, std::size_t from, std::size_t until) {
+  const std::size_t q0 = raw.find('"', from);
+  if (q0 == std::string::npos || q0 >= until) return "";
+  const std::size_t q1 = raw.find('"', q0 + 1);
+  if (q1 == std::string::npos || q1 > until) return "";
+  return raw.substr(q0 + 1, q1 - q0 - 1);
+}
+
+void collect_symbols(const std::string& file, const Stripped& s, SymbolTable& syms,
+                     std::vector<Finding>& findings) {
+  const std::string& code = s.code;
+
+  struct Marker {
+    const char* macro;
+    const char* kind;
+  };
+  static const Marker markers[] = {
+      {"NOCSIM_TILE_LOCAL", "tile-local"},
+      {"NOCSIM_SHARED_READONLY", "shared-readonly"},
+      {"NOCSIM_HALO_ONLY", "halo-only"},
+  };
+  for (const Marker& m : markers) {
+    const std::string tok = m.macro;
+    for (std::size_t pos = code.find(tok); pos != std::string::npos;
+         pos = code.find(tok, pos + 1)) {
+      if (!word_at(code, pos, tok)) continue;
+      const std::string name = ident_ending_before(code, pos);
+      if (name.empty()) {
+        findings.push_back({file, line_of(s, pos), "bad-directive",
+                            std::string(m.macro) + " must trail the declarator name "
+                            "(`type name_ " + m.macro + ";`)"});
+        continue;
+      }
+      auto it = syms.annotated.find(name);
+      if (it != syms.annotated.end() && it->second != m.kind) {
+        findings.push_back({file, line_of(s, pos), "bad-directive",
+                            "conflicting annotation for '" + name + "': already " + it->second +
+                            "; the symbol table is name-keyed, so same-named members must "
+                            "agree (or be renamed)"});
+        continue;
+      }
+      syms.annotated[name] = m.kind;
+    }
+  }
+
+  // NOCSIM_PHASE_OWNED("phase") — member writable only by the named phase.
+  for (std::size_t pos = code.find("NOCSIM_PHASE_OWNED"); pos != std::string::npos;
+       pos = code.find("NOCSIM_PHASE_OWNED", pos + 1)) {
+    if (!word_at(code, pos, "NOCSIM_PHASE_OWNED")) continue;
+    const std::size_t open = skip_ws(code, pos + std::string("NOCSIM_PHASE_OWNED").size());
+    const std::size_t close = open < code.size() && code[open] == '('
+                                  ? match_delim(code, open, '(', ')')
+                                  : std::string::npos;
+    const std::string phase =
+        close == std::string::npos ? "" : quoted_arg(s.raw, open, close);
+    const std::string name = ident_ending_before(code, pos);
+    if (name.empty() || phase.empty()) {
+      findings.push_back({file, line_of(s, pos), "bad-directive",
+                          "NOCSIM_PHASE_OWNED must trail the declarator name and take a "
+                          "string literal phase (`type name_ NOCSIM_PHASE_OWNED(\"route\");`)"});
+      continue;
+    }
+    auto it = syms.phase_owner.find(name);
+    if (it != syms.phase_owner.end() && it->second != phase) {
+      findings.push_back({file, line_of(s, pos), "bad-directive",
+                          "conflicting phase owner for '" + name + "': already '" + it->second +
+                          "'"});
+      continue;
+    }
+    syms.phase_owner[name] = phase;
+  }
+
+  // ShardTeam variables: `ShardTeam name`, `ShardTeam& name`, or a smart
+  // pointer (`unique_ptr<ShardTeam> name`). Constructor/operator
+  // declarations are filtered by the keyword list and the
+  // must-be-an-identifier requirement.
+  static const std::set<std::string> not_a_var = {
+      "operator", "const", "final", "override", "public", "private", "protected",
+      "delete",   "default", "noexcept", "explicit", "return", "new",
+  };
+  for (std::size_t pos = code.find("ShardTeam"); pos != std::string::npos;
+       pos = code.find("ShardTeam", pos + 1)) {
+    if (!word_at(code, pos, "ShardTeam")) continue;
+    std::size_t p = skip_ws(code, pos + std::string("ShardTeam").size());
+    while (p < code.size() && (code[p] == '>' || code[p] == '&' || code[p] == '*'))
+      p = skip_ws(code, p + 1);
+    std::size_t e = p;
+    while (e < code.size() && is_ident(code[e])) ++e;
+    if (e == p) continue;
+    const std::string name = code.substr(p, e - p);
+    if (not_a_var.count(name) != 0 || (std::isdigit(static_cast<unsigned char>(name[0])) != 0))
+      continue;
+    syms.team_vars.insert(name);
+  }
+}
+
+// Phase regions of one file: for every NOCSIM_PHASE marker, the innermost
+// enclosing brace block. Brace pairs are precomputed with a simple stack
+// (the code view has balanced braces: strings/comments are blanked).
+std::vector<PhaseRegion> find_phase_regions(const std::string& file, const Stripped& s,
+                                            std::vector<Finding>& findings) {
+  const std::string& code = s.code;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '{') stack.push_back(i);
+    if (code[i] == '}' && !stack.empty()) {
+      pairs.emplace_back(stack.back(), i);
+      stack.pop_back();
+    }
+  }
+
+  std::vector<PhaseRegion> regions;
+  for (std::size_t pos = code.find("NOCSIM_PHASE"); pos != std::string::npos;
+       pos = code.find("NOCSIM_PHASE", pos + 1)) {
+    if (!word_at(code, pos, "NOCSIM_PHASE")) continue;  // also skips _OWNED/_SELECT/...
+    const std::size_t open = skip_ws(code, pos + std::string("NOCSIM_PHASE").size());
+    const std::size_t close = open < code.size() && code[open] == '('
+                                  ? match_delim(code, open, '(', ')')
+                                  : std::string::npos;
+    const std::string name =
+        close == std::string::npos ? "" : quoted_arg(s.raw, open, close);
+    if (name.empty()) {
+      findings.push_back({file, line_of(s, pos), "bad-directive",
+                          "NOCSIM_PHASE needs a string literal phase name"});
+      continue;
+    }
+    // Innermost enclosing pair = the one with the largest opening offset.
+    const std::pair<std::size_t, std::size_t>* best = nullptr;
+    for (const auto& pr : pairs) {
+      if (pr.first < pos && pos < pr.second && (best == nullptr || pr.first > best->first))
+        best = &pr;
+    }
+    if (best == nullptr) {
+      findings.push_back({file, line_of(s, pos), "bad-directive",
+                          "NOCSIM_PHASE must appear inside a block (a phase body)"});
+      continue;
+    }
+    regions.push_back({best->first + 1, best->second, name});
+  }
+  return regions;
+}
+
 struct RuleContext {
   const std::string& file;
   const Stripped& s;
-  bool sim_state = false;  // src/noc, src/sim, src/core, src/cpu (or --sim-state)
+  bool sim_state = false;  // src/{noc,sim,core,cpu,telemetry}, bench (or --sim-state)
   bool hot_path = false;   // src/noc, src/core (or --hot-path)
+  const SymbolTable* syms = nullptr;
+  const std::vector<PhaseRegion>* regions = nullptr;
   std::vector<Finding>& findings;
 
   void add(std::size_t offset, const std::string& rule, const std::string& message) const {
@@ -395,6 +623,7 @@ void check_entropy_and_clocks(const RuleContext& ctx) {
   static const Banned banned[] = {
       {"rand", "raw-entropy", true, "rand() bypasses the seeded Rng; draw from nocsim::Rng"},
       {"srand", "raw-entropy", true, "srand() bypasses the seeded Rng; seed nocsim::Rng instead"},
+      {"rand_r", "raw-entropy", true, "rand_r() bypasses the seeded Rng; draw from nocsim::Rng"},
       {"random_device", "raw-entropy", false,
        "std::random_device is nondeterministic; derive streams via Rng::fork"},
       {"mt19937", "raw-entropy", false,
@@ -404,6 +633,12 @@ void check_entropy_and_clocks(const RuleContext& ctx) {
       {"default_random_engine", "raw-entropy", false,
        "std::default_random_engine is implementation-defined; use nocsim::Rng"},
       {"drand48", "raw-entropy", true, "drand48() bypasses the seeded Rng; use nocsim::Rng"},
+      {"shuffle", "raw-entropy", false,
+       "std::shuffle's use of the URBG is unspecified, so orders differ across "
+       "standard libraries; use an Rng-driven Fisher-Yates (src/common/rng.hpp)"},
+      {"random_shuffle", "raw-entropy", false,
+       "std::random_shuffle draws from an unspecified source (removed in C++17); "
+       "use an Rng-driven Fisher-Yates (src/common/rng.hpp)"},
       {"time", "wallclock", true,
        "time() reads the wall clock; simulated behaviour must depend only on (config, seed)"},
       {"clock", "wallclock", true,
@@ -666,9 +901,388 @@ void check_mutable_global(const RuleContext& ctx) {
   }
 }
 
+// --- shard-safety rules (pass 2, table-driven) -----------------------------
+
+// True when the occurrence at `pos` is accessed through another object
+// (`x.name` / `p->name`); `this->name` still counts as a self access.
+bool is_foreign_member_access(const std::string& code, std::size_t pos) {
+  const std::size_t prev = prev_nonspace(code, pos);
+  if (prev == std::string::npos) return false;
+  if (code[prev] == '.') return true;
+  if (code[prev] == '>' && prev > 0 && code[prev - 1] == '-') {
+    std::size_t arrow = prev - 1;
+    return ident_ending_before(code, arrow) != "this";
+  }
+  return false;
+}
+
+// Mutating member functions: a call to one of these through an annotated
+// name is treated as a write. fetch_or/fetch_and are deliberately absent —
+// commutative atomic RMWs on shared bitmap words are the one sanctioned
+// cross-tile write mechanism (see DESIGN.md).
+const std::set<std::string>& mutator_methods() {
+  static const std::set<std::string> m = {
+      "push_back", "emplace_back", "push_front", "emplace_front", "pop_back",
+      "pop_front", "clear",        "erase",      "insert",        "emplace",
+      "assign",    "resize",       "reserve",    "shrink_to_fit", "fill",
+      "swap",      "store",        "exchange",   "reset",         "push",
+      "pop",
+  };
+  return m;
+}
+
+// Classify the expression starting at an identifier occurrence: walk the
+// postfix chain (indexing, member access) and decide whether it ends in a
+// mutation. Returns a non-empty description for writes.
+std::string classify_write(const std::string& code, std::size_t pos, const std::string& name) {
+  // Prefix ++x_ / --x_.
+  const std::size_t prev = prev_nonspace(code, pos);
+  if (prev != std::string::npos && prev > 0 &&
+      ((code[prev] == '+' && code[prev - 1] == '+') ||
+       (code[prev] == '-' && code[prev - 1] == '-'))) {
+    return "increment of '" + name + "'";
+  }
+  std::size_t p = pos + name.size();
+  for (;;) {
+    p = skip_ws(code, p);
+    if (p >= code.size()) return "";
+    if (code[p] == '[') {
+      const std::size_t close = match_delim(code, p, '[', ']');
+      if (close == std::string::npos) return "";
+      p = close + 1;
+      continue;
+    }
+    const bool dot = code[p] == '.';
+    const bool arrow = code[p] == '-' && p + 1 < code.size() && code[p + 1] == '>';
+    if (dot || arrow) {
+      std::size_t q = skip_ws(code, p + (dot ? 1 : 2));
+      std::size_t e = q;
+      while (e < code.size() && is_ident(code[e])) ++e;
+      if (e == q) return "";
+      const std::string member = code.substr(q, e - q);
+      const std::size_t after = skip_ws(code, e);
+      if (after < code.size() && code[after] == '(') {
+        if (mutator_methods().count(member) != 0) {
+          return "call to '" + member + "' on '" + name + "'";
+        }
+        return "";  // non-mutating call ends the chain (getter, size(), ...)
+      }
+      p = e;  // field access — keep walking
+      continue;
+    }
+    break;
+  }
+  // Terminal operator after the postfix chain.
+  const char c = code[p];
+  const char n = p + 1 < code.size() ? code[p + 1] : '\0';
+  const char n2 = p + 2 < code.size() ? code[p + 2] : '\0';
+  if (c == '=' && n != '=') return "assignment to '" + name + "'";
+  if ((c == '+' || c == '-' || c == '*' || c == '/' || c == '%' || c == '&' || c == '|' ||
+       c == '^') &&
+      n == '=') {
+    return "compound assignment to '" + name + "'";
+  }
+  if (((c == '<' && n == '<') || (c == '>' && n == '>')) && n2 == '=') {
+    return "compound assignment to '" + name + "'";
+  }
+  if ((c == '+' && n == '+') || (c == '-' && n == '-')) return "increment of '" + name + "'";
+  return "";
+}
+
+// shard-unsafe-write: inside a phase region, a write to shared-read-only
+// state, to phase-owned state from the wrong phase, or to a
+// member-convention name (`foo_`) the symbol table does not classify.
+// Tile-local and halo-only writes are legal here — their *index* discipline
+// is enforced by cross-tile-index and the runtime shadow checker.
+void check_shard_unsafe_write(const RuleContext& ctx) {
+  const std::string& code = ctx.s.code;
+  for (const PhaseRegion& region : *ctx.regions) {
+    for (std::size_t i = region.begin; i < region.end;) {
+      if (!is_ident(code[i])) {
+        ++i;
+        continue;
+      }
+      std::size_t e = i;
+      while (e < region.end && is_ident(code[e])) ++e;
+      const std::string name = code.substr(i, e - i);
+      const std::size_t begin = i;
+      i = e;
+      if (std::isdigit(static_cast<unsigned char>(name[0])) != 0) continue;
+      if (is_foreign_member_access(code, begin)) continue;
+
+      auto ann = ctx.syms->annotated.find(name);
+      auto owned = ctx.syms->phase_owner.find(name);
+      const bool member_convention = name.size() > 1 && name.back() == '_';
+      if (ann == ctx.syms->annotated.end() && owned == ctx.syms->phase_owner.end() &&
+          !member_convention) {
+        continue;
+      }
+      const std::string write = classify_write(code, begin, name);
+      if (write.empty()) continue;
+
+      if (ann != ctx.syms->annotated.end()) {
+        if (ann->second == "shared-readonly") {
+          ctx.add(begin, "shard-unsafe-write",
+                  write + " inside phase '" + region.name +
+                      "': the symbol is NOCSIM_SHARED_READONLY — only serial sections "
+                      "may write it; route cross-tile effects through a halo outbox");
+        }
+        continue;  // tile-local / halo-only writes are the sanctioned paths
+      }
+      if (owned != ctx.syms->phase_owner.end()) {
+        if (owned->second != region.name) {
+          ctx.add(begin, "shard-unsafe-write",
+                  write + " inside phase '" + region.name + "': the symbol is owned by phase '" +
+                      owned->second + "' (NOCSIM_PHASE_OWNED)");
+        }
+        continue;
+      }
+      ctx.add(begin, "shard-unsafe-write",
+              write + " inside phase '" + region.name +
+                  "': the member is not classified; annotate it NOCSIM_TILE_LOCAL / "
+                  "NOCSIM_SHARED_READONLY / NOCSIM_HALO_ONLY so ownership is checkable");
+    }
+  }
+}
+
+// unannotated-phase: a ShardTeam::run call whose body lambda carries no
+// NOCSIM_PHASE declaration. Phase names are what attribute writes (both in
+// the static table and the runtime shadow checker), so an anonymous phase
+// is unauditable.
+void check_unannotated_phase(const RuleContext& ctx) {
+  const std::string& code = ctx.s.code;
+  for (std::size_t pos = code.find("run"); pos != std::string::npos;
+       pos = code.find("run", pos + 1)) {
+    if (!word_at(code, pos, "run")) continue;
+    const std::size_t prev = prev_nonspace(code, pos);
+    if (prev == std::string::npos) continue;
+    std::size_t obj_end;
+    if (code[prev] == '.') {
+      obj_end = prev;
+    } else if (code[prev] == '>' && prev > 0 && code[prev - 1] == '-') {
+      obj_end = prev - 1;
+    } else {
+      continue;
+    }
+    const std::string obj = ident_ending_before(code, obj_end);
+    if (obj.empty() || ctx.syms->team_vars.count(obj) == 0) continue;
+    const std::size_t open = skip_ws(code, pos + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = match_delim(code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    const std::size_t body_open = code.find('{', open);
+    if (body_open == std::string::npos || body_open > close) {
+      ctx.add(pos, "unannotated-phase",
+              "ShardTeam::run('" + obj + "') without a visible phase body: pass a "
+              "lambda and declare it with NOCSIM_PHASE(\"name\", plan, tile)");
+      continue;
+    }
+    const std::size_t body_close = match_delim(code, body_open, '{', '}');
+    const std::size_t limit = body_close == std::string::npos ? close : body_close;
+    bool has_phase = false;
+    for (std::size_t p = code.find("NOCSIM_PHASE", body_open);
+         p != std::string::npos && p < limit; p = code.find("NOCSIM_PHASE", p + 1)) {
+      if (word_at(code, p, "NOCSIM_PHASE")) {
+        has_phase = true;
+        break;
+      }
+    }
+    if (!has_phase) {
+      ctx.add(pos, "unannotated-phase",
+              "ShardTeam::run('" + obj + "') body has no NOCSIM_PHASE declaration: "
+              "writes inside it cannot be attributed to a phase; add "
+              "NOCSIM_PHASE(\"name\", plan, tile) at the top of the lambda");
+    }
+  }
+}
+
+// cross-tile-index: inside a phase region, a NOCSIM_TILE_LOCAL array
+// indexed by a neighbor-derived node id (directly, or via a local assigned
+// from neighbor()/nbr) with no ownership guard nearby. A neighbor of an
+// owned node may belong to the next tile; per-node writes to it must go
+// through a halo outbox after an owns()/tile_of() test.
+void check_cross_tile_index(const RuleContext& ctx) {
+  const std::string& code = ctx.s.code;
+  auto mentions_neighbor = [&](const std::string& text) {
+    for (const char* w : {"neighbor", "neighbors", "nbr", "nbrs"}) {
+      const std::string word = w;
+      for (std::size_t p = text.find(word); p != std::string::npos;
+           p = text.find(word, p + 1)) {
+        const bool l = p == 0 || !is_ident(text[p - 1]);
+        const bool r = p + word.size() >= text.size() || !is_ident(text[p + word.size()]);
+        if (l && r) return true;
+      }
+    }
+    return false;
+  };
+  for (const PhaseRegion& region : *ctx.regions) {
+    for (const auto& [name, kind] : ctx.syms->annotated) {
+      if (kind != "tile-local") continue;
+      for (std::size_t pos = code.find(name, region.begin);
+           pos != std::string::npos && pos < region.end; pos = code.find(name, pos + 1)) {
+        if (!word_at(code, pos, name)) continue;
+        if (is_foreign_member_access(code, pos)) continue;
+        const std::size_t open = skip_ws(code, pos + name.size());
+        if (open >= code.size() || code[open] != '[') continue;
+        const std::size_t close = match_delim(code, open, '[', ']');
+        if (close == std::string::npos || close > region.end) continue;
+        const std::string idx = trim(code.substr(open + 1, close - open - 1));
+
+        bool tainted = mentions_neighbor(idx);
+        if (!tainted && !idx.empty() &&
+            std::all_of(idx.begin(), idx.end(), [](char ch) { return is_ident(ch); })) {
+          // A plain local index: tainted if it was assigned from neighbor()
+          // earlier in this region.
+          for (std::size_t p = code.find(idx, region.begin);
+               p != std::string::npos && p < pos; p = code.find(idx, p + 1)) {
+            if (!word_at(code, p, idx)) continue;
+            const std::size_t eq = skip_ws(code, p + idx.size());
+            if (eq >= code.size() || code[eq] != '=' ||
+                (eq + 1 < code.size() && code[eq + 1] == '=')) {
+              continue;
+            }
+            const std::size_t semi = code.find(';', eq);
+            if (semi == std::string::npos) continue;
+            if (mentions_neighbor(code.substr(eq + 1, semi - eq - 1))) {
+              tainted = true;
+              break;
+            }
+          }
+        }
+        if (!tainted) continue;
+
+        // Guard window: the preceding few lines inside the region. An
+        // owns()/tile_of() test or a halo-outbox mention means the code is
+        // doing exactly the sanctioned dance.
+        const int line = line_of(ctx.s, pos);
+        const std::size_t guard_line = static_cast<std::size_t>(std::max(1, line - 3)) - 1;
+        const std::size_t guard_begin =
+            std::max(region.begin, ctx.s.line_offset[guard_line]);
+        const std::size_t guard_end = std::min(region.end, close);
+        const std::string guard = code.substr(guard_begin, guard_end - guard_begin);
+        bool guarded = guard.find("owns(") != std::string::npos ||
+                       guard.find("tile_of(") != std::string::npos;
+        if (!guarded) {
+          for (const auto& [hname, hkind] : ctx.syms->annotated) {
+            if (hkind == "halo-only" && guard.find(hname) != std::string::npos) {
+              guarded = true;
+              break;
+            }
+          }
+        }
+        if (guarded) continue;
+        ctx.add(pos, "cross-tile-index",
+                "'" + name + "' (NOCSIM_TILE_LOCAL) indexed by the neighbor-derived '" +
+                    idx + "' with no ownership guard: a neighbor may live on another "
+                    "tile; test plan->owns()/tile_of() and stage the write in a "
+                    "NOCSIM_HALO_ONLY outbox");
+      }
+    }
+  }
+}
+
+// alloc-in-phase: phases run once per simulated cycle; an allocation there
+// is both a throughput bug and a determinism hazard (allocator state is
+// shared across tiles). Buffers must be pre-sized in the constructor or
+// shard_begin; amortized push_back into pre-reserved tile-local/halo
+// containers is the one allowed growth.
+void check_alloc_in_phase(const RuleContext& ctx) {
+  const std::string& code = ctx.s.code;
+  for (const PhaseRegion& region : *ctx.regions) {
+    auto in_region_find = [&](const std::string& tok, std::size_t from) {
+      const std::size_t p = code.find(tok, from);
+      return p != std::string::npos && p < region.end ? p : std::string::npos;
+    };
+    // Allocation keywords and functions.
+    struct AllocTok {
+      const char* token;
+      bool needs_call;
+    };
+    static const AllocTok toks[] = {
+        {"new", false},          {"malloc", true},      {"calloc", true},
+        {"realloc", true},       {"aligned_alloc", true}, {"make_unique", false},
+        {"make_shared", false},
+    };
+    for (const AllocTok& t : toks) {
+      for (std::size_t pos = in_region_find(t.token, region.begin); pos != std::string::npos;
+           pos = in_region_find(t.token, pos + 1)) {
+        if (!word_at(code, pos, t.token)) continue;
+        if (is_foreign_member_access(code, pos)) continue;
+        if (ident_ending_before(code, pos) == "operator") continue;
+        if (t.needs_call) {
+          const std::size_t after = skip_ws(code, pos + std::string(t.token).size());
+          if (after >= code.size() || code[after] != '(') continue;
+        }
+        ctx.add(pos, "alloc-in-phase",
+                std::string("'") + t.token + "' inside phase '" + region.name +
+                    "': phases run every simulated cycle and must be steady-state "
+                    "allocation-free; pre-size in the constructor or shard_begin");
+      }
+    }
+    // Capacity-changing member calls on any object.
+    for (const char* grow : {"resize", "reserve", "shrink_to_fit"}) {
+      for (std::size_t pos = in_region_find(grow, region.begin); pos != std::string::npos;
+           pos = in_region_find(grow, pos + 1)) {
+        if (!word_at(code, pos, grow)) continue;
+        const std::size_t prev = prev_nonspace(code, pos);
+        if (prev == std::string::npos) continue;
+        const bool member = code[prev] == '.' ||
+                            (code[prev] == '>' && prev > 0 && code[prev - 1] == '-');
+        if (!member) continue;
+        const std::size_t after = skip_ws(code, pos + std::string(grow).size());
+        if (after >= code.size() || code[after] != '(') continue;
+        ctx.add(pos, "alloc-in-phase",
+                std::string("'") + grow + "' inside phase '" + region.name +
+                    "': phases run every simulated cycle and must be steady-state "
+                    "allocation-free; pre-size in the constructor or shard_begin");
+      }
+    }
+  }
+}
+
+// lock-in-hot-path: blocking synchronization in per-cycle code (hot-path
+// files) or inside any phase body. The sharded loop's only sanctioned
+// synchronization is the spin barrier between phases and halo outboxes;
+// a lock inside a phase serializes tiles at best and deadlocks the barrier
+// protocol at worst.
+void check_lock_in_hot_path(const RuleContext& ctx) {
+  const std::string& code = ctx.s.code;
+  static const char* locky[] = {
+      "mutex",          "timed_mutex",     "recursive_mutex", "shared_mutex",
+      "lock_guard",     "unique_lock",     "scoped_lock",     "shared_lock",
+      "condition_variable", "condition_variable_any", "pthread_mutex_t",
+      "pthread_mutex_lock", "pthread_rwlock_t", "pthread_spin_lock",
+  };
+  auto in_phase_region = [&](std::size_t pos) -> const PhaseRegion* {
+    const PhaseRegion* best = nullptr;
+    for (const PhaseRegion& r : *ctx.regions) {
+      if (r.begin <= pos && pos < r.end && (best == nullptr || r.begin > best->begin)) best = &r;
+    }
+    return best;
+  };
+  for (const char* t : locky) {
+    const std::string tok = t;
+    for (std::size_t pos = code.find(tok); pos != std::string::npos;
+         pos = code.find(tok, pos + 1)) {
+      if (!word_at(code, pos, tok)) continue;
+      if (is_foreign_member_access(code, pos)) continue;
+      const PhaseRegion* region = in_phase_region(pos);
+      if (!ctx.hot_path && region == nullptr) continue;
+      const std::string where =
+          region != nullptr ? "phase '" + region->name + "'" : "per-cycle code";
+      ctx.add(pos, "lock-in-hot-path",
+              "'" + tok + "' in " + where +
+                  ": the sharded loop synchronizes via spin barriers and halo outboxes "
+                  "only; a lock here serializes tiles and can deadlock the phase "
+                  "protocol");
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 bool path_is_sim_state(const std::string& generic_path) {
-  for (const char* dir : {"src/noc/", "src/sim/", "src/core/", "src/cpu/"}) {
+  for (const char* dir :
+       {"src/noc/", "src/sim/", "src/core/", "src/cpu/", "src/telemetry/", "bench/"}) {
     if (generic_path.find(dir) != std::string::npos) return true;
   }
   return false;
@@ -690,43 +1304,46 @@ bool path_is_entropy_impl(const std::string& generic_path) {
   return generic_path.find("src/common/rng.hpp") != std::string::npos;
 }
 
-int lint_file(const fs::path& path, bool force_sim_state, bool force_hot_path,
-              std::vector<Finding>& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "nocsim-lint: cannot read %s\n", path.string().c_str());
-    return 2;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string src = buf.str();
-  const std::string display = path.generic_string();
+// Loaded state for one input file, shared by both passes.
+struct FileData {
+  fs::path path;
+  std::string display;
+  Stripped s;
+  std::map<int, Allow> allows;
+  std::vector<Finding> findings;  // pre-suppression
+  bool sim_state = false;
+  bool hot_path = false;
+};
 
-  const Stripped stripped = strip(src);
-  std::vector<Finding> findings;
-  const std::map<int, Allow> allows = parse_directives(stripped, display, findings);
-
-  RuleContext ctx{display, stripped, force_sim_state || path_is_sim_state(display),
-                  force_hot_path || path_is_hot_path(display), findings};
+void analyze_file(FileData& fd, const SymbolTable& syms) {
+  std::vector<PhaseRegion> regions = find_phase_regions(fd.display, fd.s, fd.findings);
+  RuleContext ctx{fd.display, fd.s,      fd.sim_state, fd.hot_path,
+                  &syms,      &regions,  fd.findings};
   check_unordered(ctx);
-  if (!path_is_entropy_impl(display)) check_entropy_and_clocks(ctx);
+  if (!path_is_entropy_impl(fd.display)) check_entropy_and_clocks(ctx);
   check_pointer_sort(ctx);
   check_narrow_cast(ctx);
   check_iostream_hot_path(ctx);
   check_mutable_global(ctx);
+  check_shard_unsafe_write(ctx);
+  check_unannotated_phase(ctx);
+  check_cross_tile_index(ctx);
+  check_alloc_in_phase(ctx);
+  check_lock_in_hot_path(ctx);
+}
 
-  // Apply suppressions: an allow covers its own line and the next line.
-  for (const Finding& f : findings) {
+// Apply suppressions: an allow covers its own line and the next line.
+void apply_suppressions(const FileData& fd, std::vector<Finding>& out) {
+  for (const Finding& f : fd.findings) {
     if (f.rule != "bad-directive") {
       auto covered = [&](int line) {
-        auto it = allows.find(line);
-        return it != allows.end() && it->second.rules.count(f.rule) != 0;
+        auto it = fd.allows.find(line);
+        return it != fd.allows.end() && it->second.rules.count(f.rule) != 0;
       };
       if (covered(f.line) || covered(f.line - 1)) continue;
     }
     out.push_back(f);
   }
-  return 0;
 }
 
 bool lintable(const fs::path& p) {
@@ -789,10 +1406,37 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> findings;
+  // Pass 1: load every file, parse directives, build the cross-file symbol
+  // table. Pass 2: run the rules with the completed table, so annotations
+  // in one translation unit govern phase bodies in another.
+  std::vector<FileData> data;
+  data.reserve(files.size());
+  SymbolTable syms;
   for (const fs::path& f : files) {
-    if (int rc = lint_file(f, force_sim_state, force_hot_path, findings); rc != 0) return rc;
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "nocsim-lint: cannot read %s\n", f.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    FileData fd;
+    fd.path = f;
+    fd.display = f.generic_string();
+    fd.s = strip(buf.str());
+    fd.allows = parse_directives(fd.s, fd.display, fd.findings);
+    fd.sim_state = force_sim_state || path_is_sim_state(fd.display);
+    fd.hot_path = force_hot_path || path_is_hot_path(fd.display);
+    collect_symbols(fd.display, fd.s, syms, fd.findings);
+    data.push_back(std::move(fd));
   }
+
+  std::vector<Finding> findings;
+  for (FileData& fd : data) {
+    analyze_file(fd, syms);
+    apply_suppressions(fd, findings);
+  }
+
   for (const Finding& f : findings) {
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str());
   }
