@@ -13,6 +13,7 @@
 // The simulated configuration is a pure function of the flags: before/after
 // comparisons are apples-to-apples as long as --cycles/--reps match.
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -30,8 +31,9 @@ struct BenchConfig {
   std::string name;
   int side;
   Cycle warmup;
-  Cycle cycles;    ///< measured cycles per rep
-  int shards = 1;  ///< intra-run tiles (1 = serial loop)
+  Cycle cycles;     ///< measured cycles per rep
+  int shards = 1;   ///< intra-run tiles (1 = serial loop)
+  ShardDims dims{}; ///< 2D cols x rows tiling; overrides `shards` when active
 };
 
 struct BenchResult {
@@ -48,7 +50,11 @@ BenchResult run_config(const BenchConfig& bc, int reps) {
   c.measure_cycles = bc.cycles;
   c.cc_params.epoch = 5'000;
   c.seed = 1;
-  c.shards = bc.shards;
+  if (bc.dims.active()) {
+    c.shard_dims = bc.dims;
+  } else {
+    c.shards = bc.shards;
+  }
   Rng rng(17);
   const auto wl = make_category_workload("HM", bc.side * bc.side, rng);
   Simulator sim(c, wl);
@@ -95,16 +101,21 @@ void write_json(std::ostream& out, const std::vector<BenchResult>& results, int 
   out << "  \"note\": \"machine-dependent; refresh with scripts/bench_baseline.sh. "
          "Sharded (_shN) configs only beat serial with >= N physical cores; on a "
          "single-core host they price the barrier overhead instead.\",\n";
+  // host_threads lives in the environment record only: it describes the
+  // machine, not the benchmark, and emitting it twice invited the two copies
+  // to drift apart under hand edits.
   out << "  \"environment\": {\"cpu_model\": \"" << cpu_model()
       << "\", \"host_threads\": " << std::thread::hardware_concurrency() << "},\n";
-  out << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"reps\": " << reps << ",\n";
   out << "  \"configs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     out << "    {\"name\": \"" << r.cfg.name << "\", \"side\": " << r.cfg.side
-        << ", \"shards\": " << r.cfg.shards
-        << ", \"measured_cycles\": " << r.cfg.cycles << ", \"wall_seconds\": "
+        << ", \"shards\": "
+        << (r.cfg.dims.active() ? r.cfg.dims.cols * r.cfg.dims.rows : r.cfg.shards);
+    if (r.cfg.dims.active())
+      out << ", \"shard_dims\": \"" << r.cfg.dims.cols << "x" << r.cfg.dims.rows << "\"";
+    out << ", \"measured_cycles\": " << r.cfg.cycles << ", \"wall_seconds\": "
         << r.best_seconds << ", \"cycles_per_sec\": " << r.cycles_per_sec
         << ", \"node_cycles_per_sec\": "
         << r.cycles_per_sec * r.cfg.side * r.cfg.side << "}"
@@ -126,6 +137,8 @@ int run(int argc, char** argv) {
       static_cast<int>(flags.get_int("reps", 3, "timed repetitions; best is reported"));
   const int shards = static_cast<int>(
       flags.get_int("shards", 4, "tiles for the sharded 32x32/64x64 variants"));
+  const std::string dims_str = flags.get_string(
+      "shard-dims", "", "COLSxROWS 2D tiling variants to add, e.g. 2x2 (empty = none)");
   const bool skip_large =
       flags.get_bool("skip-32", false, "measure only the 8x8 config (quick check)");
   const std::string out_path =
@@ -141,6 +154,23 @@ int run(int argc, char** argv) {
     configs.push_back({"fig02_32x32_sh" + std::to_string(shards), 32, 2'000, cycles32, shards});
     configs.push_back({"fig02_64x64", 64, 1'000, cycles64});
     configs.push_back({"fig02_64x64_sh" + std::to_string(shards), 64, 1'000, cycles64, shards});
+    if (!dims_str.empty()) {
+      // 2D column-tile variants (SimConfig::shard_dims): rectangle seams
+      // halve the halo bytes of same-count row strips, so the _shCxR vs _shN
+      // pair prices the layout, not the thread count.
+      const std::size_t x = dims_str.find('x');
+      ShardDims d;
+      if (x != std::string::npos) {
+        d.cols = std::atoi(dims_str.substr(0, x).c_str());
+        d.rows = std::atoi(dims_str.substr(x + 1).c_str());
+      }
+      if (!d.active()) {
+        std::cerr << "cycle_loop: bad --shard-dims '" << dims_str << "' (want COLSxROWS)\n";
+        return 1;
+      }
+      configs.push_back({"fig02_32x32_sh" + dims_str, 32, 2'000, cycles32, 1, d});
+      configs.push_back({"fig02_64x64_sh" + dims_str, 64, 1'000, cycles64, 1, d});
+    }
   }
 
   std::vector<BenchResult> results;

@@ -17,6 +17,23 @@ build="${1:-build-bench}"
 
 cmake -B "$build" -S . -G Ninja -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j --target cycle_loop >/dev/null
-"./$build/bench/cycle_loop" --out BENCH_cycle_loop.json
+"./$build/bench/cycle_loop" --reps 7 --shard-dims 2x2 --out BENCH_cycle_loop.json
+
+# A sharded (_shN / _shCxR) config measured on fewer than N cores prices the
+# tile barriers instead of the parallel speedup. That is still a valid
+# baseline (CI compares like against like) but a misleading one to read, so
+# say so out loud. `nproc` counts logical CPUs — a conservative upper bound
+# on physical cores, so the warning can only under-fire.
+cores="$(nproc)"
+python3 - "$cores" BENCH_cycle_loop.json <<'EOF'
+import json, sys
+cores = int(sys.argv[1])
+for c in json.load(open(sys.argv[2]))["configs"]:
+    if c.get("shards", 1) > cores:
+        print(f"bench_baseline: WARNING {c['name']} runs {c['shards']} tiles but this "
+              f"host has only {cores} core(s); its cycles/s prices barrier overhead, "
+              "not parallel speedup", file=sys.stderr)
+EOF
+
 echo "Wrote BENCH_cycle_loop.json:"
 cat BENCH_cycle_loop.json

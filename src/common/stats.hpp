@@ -87,6 +87,13 @@ class SlidingWindowRate {
   /// simulator's NI fast path replays skipped cycles through it).
   void record_zeros(std::uint64_t k) {
     const std::size_t w = bits_.size();
+    if (ones_ == 0) {
+      // All-zero window (the common case for a long-idle node): every bit
+      // is already 0, so k zero-records reduce to advancing the cursor.
+      head_ = (head_ + k) % w;
+      if (filled_ < w) filled_ = static_cast<std::size_t>(std::min<std::uint64_t>(w, filled_ + k));
+      return;
+    }
     if (k < w) {
       for (std::uint64_t i = 0; i < k; ++i) record(false);
       return;
@@ -124,7 +131,8 @@ class SlidingWindowRate {
 /// for latency distributions, starvation CDFs, and telemetry percentiles.
 class Histogram {
  public:
-  Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  Histogram(double lo, double hi, int bins)
+      : lo_(lo), hi_(hi), inv_range_(1.0 / (hi - lo)), counts_(bins, 0) {
     NOCSIM_CHECK(bins > 0 && hi > lo);
   }
 
@@ -134,7 +142,10 @@ class Histogram {
     // int64 range, and a float→int cast whose value doesn't fit is UB
     // (UBSan float-cast-overflow). For in-range samples the truncation is
     // unchanged. NaN compares false against both bounds and lands in bin 0.
-    const double t = (x - lo_) / (hi_ - lo_);
+    // The reciprocal replaces a per-sample divide; every histogram in the
+    // tree spans a power-of-two range, for which x * (1/range) == x / range
+    // exactly, so binning is unchanged.
+    const double t = (x - lo_) * inv_range_;
     const double scaled = t * static_cast<double>(counts_.size());
     const double top = static_cast<double>(counts_.size() - 1);
     const double clamped = scaled > top ? top : (scaled > 0.0 ? scaled : 0.0);
@@ -183,6 +194,7 @@ class Histogram {
 
  private:
   double lo_, hi_;
+  double inv_range_;  ///< 1 / (hi - lo), hoisted out of add()
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
   double min_ = std::numeric_limits<double>::infinity();

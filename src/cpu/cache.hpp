@@ -28,7 +28,8 @@ class SetAssocCache {
       : ways_(ways),
         block_bytes_(block_bytes),
         sets_(size_bytes / (block_bytes * static_cast<std::size_t>(ways))),
-        lines_(sets_ * static_cast<std::size_t>(ways)) {
+        tags_(sets_ * static_cast<std::size_t>(ways), kEmptyTag),
+        lru_(sets_ * static_cast<std::size_t>(ways), 0) {
     NOCSIM_CHECK(ways > 0 && block_bytes > 0);
     NOCSIM_CHECK_MSG(sets_ > 0, "cache smaller than one set");
     NOCSIM_CHECK_MSG((sets_ & (sets_ - 1)) == 0, "set count must be a power of two");
@@ -40,43 +41,44 @@ class SetAssocCache {
   /// fill happens when the data returns from the network (see fill()), which
   /// matters under coalesced outstanding misses.
   bool access(Addr block) {
-    auto [line, hit] = find(block);
-    if (hit) {
-      line->lru = ++tick_;
-      ++stats_.hits;
-    } else {
-      ++stats_.misses;
+    const std::size_t base = set_of(block) * static_cast<std::size_t>(ways_);
+    for (int w = 0; w < ways_; ++w) {
+      if (tags_[base + static_cast<std::size_t>(w)] == block) {
+        lru_[base + static_cast<std::size_t>(w)] = ++tick_;
+        ++stats_.hits;
+        return true;
+      }
     }
-    return hit;
+    ++stats_.misses;
+    return false;
   }
 
   /// Probe without LRU update or stats (used by tests).
   [[nodiscard]] bool contains(Addr block) const {
     const std::size_t base = set_of(block) * static_cast<std::size_t>(ways_);
     for (int w = 0; w < ways_; ++w)
-      if (lines_[base + w].valid && lines_[base + w].tag == block) return true;
+      if (tags_[base + static_cast<std::size_t>(w)] == block) return true;
     return false;
   }
 
   /// Insert a block, evicting the set's LRU line if needed.
   void fill(Addr block) {
     const std::size_t base = set_of(block) * static_cast<std::size_t>(ways_);
-    Line* victim = &lines_[base];
+    std::size_t victim = base;
     for (int w = 0; w < ways_; ++w) {
-      Line& line = lines_[base + w];
-      if (line.valid && line.tag == block) {  // already present (raced fill)
-        line.lru = ++tick_;
+      const std::size_t i = base + static_cast<std::size_t>(w);
+      if (tags_[i] == block) {  // already present (raced fill)
+        lru_[i] = ++tick_;
         return;
       }
-      if (!line.valid) {
-        victim = &line;
+      if (tags_[i] == kEmptyTag) {
+        victim = i;
         break;
       }
-      if (line.lru < victim->lru) victim = &line;
+      if (lru_[i] < lru_[victim]) victim = i;
     }
-    victim->valid = true;
-    victim->tag = block;
-    victim->lru = ++tick_;
+    tags_[victim] = block;
+    lru_[victim] = ++tick_;
   }
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
@@ -86,29 +88,23 @@ class SetAssocCache {
   [[nodiscard]] std::size_t block_bytes() const { return block_bytes_; }
 
  private:
-  struct Line {
-    Addr tag = 0;
-    std::uint64_t lru = 0;
-    bool valid = false;
-  };
+  /// Tag lane sentinel for an unfilled line. A real block index can never
+  /// reach it: blocks are byte addresses divided by the block size.
+  static constexpr Addr kEmptyTag = ~Addr{0};
 
   [[nodiscard]] std::size_t set_of(Addr block) const {
     return static_cast<std::size_t>(block) & (sets_ - 1);
   }
 
-  std::pair<Line*, bool> find(Addr block) {
-    const std::size_t base = set_of(block) * static_cast<std::size_t>(ways_);
-    for (int w = 0; w < ways_; ++w) {
-      Line& line = lines_[base + w];
-      if (line.valid && line.tag == block) return {&line, true};
-    }
-    return {nullptr, false};
-  }
-
   int ways_;
   std::size_t block_bytes_;
   std::size_t sets_;
-  std::vector<Line> lines_;
+  /// SoA lanes indexed [set * ways + way]: a 4-way set's tags occupy half a
+  /// cacheline, so the (host-cold) random-set lookup touches one line where
+  /// an array-of-structs layout spanned two; the LRU lane is only written
+  /// on hits and fills.
+  std::vector<Addr> tags_;
+  std::vector<std::uint64_t> lru_;
   std::uint64_t tick_ = 0;
   CacheStats stats_;
 };

@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -22,6 +21,8 @@
 #include "cpu/trace.hpp"
 
 namespace nocsim {
+
+class SyntheticTrace;
 
 struct CoreParams {
   int window_size = 128;      ///< instruction window entries
@@ -59,9 +60,12 @@ class Core {
         l1_(params.l1_size_bytes, params.l1_ways, params.block_bytes),
         trace_(std::move(trace)),
         on_miss_(std::move(on_miss)),
-        window_(static_cast<std::size_t>(params.window_size)) {
+        window_(static_cast<std::size_t>(params.window_size)),
+        waiter_next_(static_cast<std::size_t>(params.window_size), kNoWaiter) {
     NOCSIM_CHECK(params.window_size > 0 && params.issue_width > 0);
     NOCSIM_CHECK(trace_ != nullptr);
+    mshrs_.reserve(static_cast<std::size_t>(params.max_outstanding_misses));
+    detect_trace_kind();
   }
 
   /// Functional warm-up: run `instructions` through the L1 with zero-latency
@@ -77,6 +81,21 @@ class Core {
   /// A data reply for `block` arrived: complete all coalesced waiters and
   /// fill the L1.
   void on_fill(Addr block, Cycle now);
+
+  /// True when a step() can have no effect but counting a window-full
+  /// cycle: the window is full and the head instruction is waiting on the
+  /// network, so retirement is stuck and the front end cannot issue. Only
+  /// on_fill() changes either condition, which lets the owner skip step()
+  /// entirely until a fill arrives and replay the gap via skip_blocked().
+  [[nodiscard]] bool blocked() const {
+    return occupancy_ == static_cast<int>(window_.size()) &&
+           window_[head_].ready_at == kWaiting;
+  }
+
+  /// Replay `cycles` skipped blocked cycles (each would have recorded one
+  /// window-full cycle and nothing else). Caller contract: the core was
+  /// blocked() for the whole gap — i.e. no on_fill() since it went to sleep.
+  void skip_blocked(Cycle cycles) { stats_.window_full_cycles += cycles; }
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] const CoreStats& stats() const { return stats_; }
@@ -107,23 +126,48 @@ class Core {
 
   void retire(Cycle now);
   void issue(Cycle now);
+  void detect_trace_kind();
 
   NodeId id_;
   CoreParams params_;
   SetAssocCache l1_;
   std::unique_ptr<TraceSource> trace_;
+  /// Non-null when trace_ is a SyntheticTrace (the overwhelmingly common
+  /// source, one virtual next() per issued instruction otherwise): the
+  /// final-class pointer lets fetches devirtualize and inline the
+  /// generator into the issue loop. Set in core.cpp's constructor helper.
+  SyntheticTrace* synth_ = nullptr;
   MissFn on_miss_;
+
+  /// Fetch the next trace instruction through the devirtualized path when
+  /// possible (defined in core.cpp, where SyntheticTrace is complete).
+  [[nodiscard]] Insn fetch_insn();
 
   std::vector<WindowEntry> window_;  ///< ring buffer
   std::size_t head_ = 0;             ///< oldest entry
   std::size_t tail_ = 0;             ///< next free slot
   int occupancy_ = 0;
 
-  /// Outstanding misses: block -> window slots waiting on it (coalescing).
-  /// Ordered by block address so traversal order is deterministic; the MSHR
-  /// bound keeps this tiny (<= max_outstanding_misses entries), so std::map
-  /// costs nothing measurable over a hash table here.
-  std::map<Addr, std::vector<std::uint32_t>> mshrs_;
+  /// Outstanding misses with their coalesced waiters. The MSHR bound keeps
+  /// this tiny (<= max_outstanding_misses live entries), so an unordered
+  /// flat array with linear lookup beats any node-based container: no
+  /// allocation per miss, one cacheline scan per access. Waiters chain
+  /// intrusively through waiter_next_ (indexed by window slot), and every
+  /// waiter wakes with the same ready_at, so neither entry order nor chain
+  /// order is observable.
+  struct MshrEntry {
+    Addr block;
+    std::uint32_t head;  ///< first waiting window slot
+    std::uint32_t tail;  ///< last waiting window slot (append point)
+  };
+  static constexpr std::uint32_t kNoWaiter = ~std::uint32_t{0};
+  [[nodiscard]] std::size_t find_mshr(Addr block) const {
+    for (std::size_t i = 0; i < mshrs_.size(); ++i)
+      if (mshrs_[i].block == block) return i;
+    return mshrs_.size();
+  }
+  std::vector<MshrEntry> mshrs_;
+  std::vector<std::uint32_t> waiter_next_;  ///< per window slot: next coalesced waiter
 
   /// In-order front end: an instruction fetched but not yet issued (e.g. a
   /// memory op stalled on the memory port) stays staged across cycles.

@@ -10,8 +10,7 @@ BlessFabric::BlessFabric(const Topology& topo, int router_latency, int link_late
                          BlessRouting routing)
     : Fabric(topo, router_latency, link_latency),
       routing_(routing),
-      nodes_(topo.num_nodes()),
-      banks_(static_cast<std::size_t>(hop_latency_) + 1) {
+      nodes_(topo.num_nodes()) {
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     auto& st = nodes_[n];
     for (int d = 0; d < kNumDirs; ++d) {
@@ -20,11 +19,81 @@ BlessFabric::BlessFabric(const Topology& topo, int router_latency, int link_late
     }
     NOCSIM_CHECK_MSG(st.degree >= 2, "degenerate topology: router with degree < 2");
   }
-  for (LatchBank& b : banks_) {
-    b.latch.resize(static_cast<std::size_t>(topo.num_nodes()));
-    b.valid.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
-    b.active.assign(word_count(topo.num_nodes()), 0);
+  rebuild_layout();
+}
+
+void BlessFabric::rebuild_layout() {
+  NOCSIM_CHECK_MSG(in_network_ == 0, "fabric layout rebuilt with flits in flight");
+  const ShardPlan* lp = plan_;  // null = serial: one tile spanning every node
+  const int tiles = lp != nullptr ? lp->tiles() : 1;
+  const NodeId nodes = topo_.num_nodes();
+  const std::size_t words = word_count(nodes);
+  const std::size_t nbanks = static_cast<std::size_t>(hop_latency_) + 1;
+
+  // Halo capacity per (src, dst) tile pair: the directed cross-link count,
+  // the hard bound on latch writes staged between those tiles in one cycle.
+  std::vector<std::size_t> cross(static_cast<std::size_t>(tiles) * tiles, 0);
+  if (lp != nullptr) {
+    for (NodeId n = 0; n < nodes; ++n) {
+      const int src = lp->tile_of(n);
+      for (int d = 0; d < kNumDirs; ++d) {
+        const NodeId nb = nodes_[static_cast<std::size_t>(n)].nbr[d];
+        if (nb == kInvalidNode) continue;
+        const int dst = lp->tile_of(nb);
+        if (dst != src) ++cross[static_cast<std::size_t>(src) * tiles + dst];
+      }
+    }
   }
+
+  const auto tile_nodes = [&](int t) {
+    return lp != nullptr ? static_cast<std::size_t>(lp->tile_nodes(t))
+                         : static_cast<std::size_t>(nodes);
+  };
+
+  // Size each tile's arena up front (bump arenas do not grow).
+  arenas_.clear();
+  arenas_.resize(static_cast<std::size_t>(tiles) + 1);
+  for (int t = 0; t < tiles; ++t) {
+    const std::size_t m = tile_nodes(t);
+    std::size_t bytes = nbanks * (Arena::lane_bytes<FlitHeader>(m * kNumDirs) +
+                                  Arena::lane_bytes<FlitPayload>(m * kNumDirs) +
+                                  Arena::lane_bytes<std::uint8_t>(m));
+    for (int dst = 0; dst < tiles; ++dst)
+      bytes += Arena::lane_bytes<HaloWrite>(cross[static_cast<std::size_t>(t) * tiles + dst]);
+    arenas_[static_cast<std::size_t>(t)].reserve(bytes);
+  }
+  // The shared arena holds exactly the deliberately cross-tile cachelines:
+  // the occupancy bitmap words (boundary words take atomic RMWs).
+  arenas_[static_cast<std::size_t>(tiles)].reserve(nbanks * Arena::lane_bytes<std::uint64_t>(words));
+
+  banks_.clear();
+  banks_.resize(nbanks);
+  for (LatchBank& b : banks_) {
+    b.hdr.resize(static_cast<std::size_t>(tiles));
+    b.pay.resize(static_cast<std::size_t>(tiles));
+    b.valid.resize(static_cast<std::size_t>(tiles));
+  }
+  for (int t = 0; t < tiles; ++t) {
+    Arena& a = arenas_[static_cast<std::size_t>(t)];
+    const std::size_t m = tile_nodes(t);
+    for (LatchBank& b : banks_) {
+      b.hdr[static_cast<std::size_t>(t)] = a.alloc_array<FlitHeader>(m * kNumDirs);
+      b.pay[static_cast<std::size_t>(t)] = a.alloc_array<FlitPayload>(m * kNumDirs);
+      b.valid[static_cast<std::size_t>(t)] = a.alloc_array<std::uint8_t>(m);
+    }
+  }
+  for (LatchBank& b : banks_)
+    b.active = arenas_[static_cast<std::size_t>(tiles)].alloc_array<std::uint64_t>(words);
+
+  halo_.assign(static_cast<std::size_t>(tiles) * tiles, HaloBox{});
+  for (int src = 0; src < tiles; ++src) {
+    for (int dst = 0; dst < tiles; ++dst) {
+      const std::size_t i = static_cast<std::size_t>(src) * tiles + dst;
+      halo_[i].cap = static_cast<std::uint32_t>(cross[i]);
+      halo_[i].slots = arenas_[static_cast<std::size_t>(src)].alloc_array<HaloWrite>(cross[i]);
+    }
+  }
+
   cur_ = &banks_[0];  // empty network: can_accept is well-defined pre-begin_cycle
 }
 
@@ -40,13 +109,16 @@ bool BlessFabric::can_accept(NodeId n) const {
   // Injection eligibility: through flits (arrivals minus at most one
   // ejectable) must leave a free output port. Computed on demand — only
   // nodes whose NI actually asks pay for it, and an idle router answers
-  // with a single load.
-  const std::uint8_t lv = cur_->valid[n];
+  // with a single load. The scan touches only the header lane.
+  const std::size_t t = plan_ != nullptr ? static_cast<std::size_t>(plan_->tile_of(n)) : 0;
+  const std::size_t local =
+      plan_ != nullptr ? plan_->local_of(n) : static_cast<std::size_t>(n);
+  const std::uint8_t lv = cur_->valid[t][local];
   if (lv == 0) return true;
-  const auto& latch = cur_->latch[n];
+  const FlitHeader* h = cur_->hdr[t] + local * kNumDirs;
   bool has_eject = false;
   for (int p = 0; p < kNumDirs; ++p) {
-    if ((lv & (1u << p)) && latch[p].dst == n) {
+    if ((lv & (1u << p)) && h[p].dst == n) {
       has_eject = true;
       break;
     }
@@ -62,7 +134,7 @@ void BlessFabric::step(Cycle now) {
   // ejection sequence — and with it every order-sensitive accumulator —
   // identical to a full scan.
   LatchBank& bank = *cur_;
-  const std::size_t words = bank.active.size();
+  const std::size_t words = word_count(topo_.num_nodes());
   for (std::size_t w = 0; w < words; ++w) {
     std::uint64_t bits = bank.active[w] | inject_words_[w];
     if (bits == 0) continue;
@@ -78,14 +150,11 @@ void BlessFabric::step(Cycle now) {
 
 void BlessFabric::set_shard_plan(const ShardPlan* plan) {
   Fabric::set_shard_plan(plan);
-  halo_.clear();
-  if (plan != nullptr) {
-    const auto t = static_cast<std::size_t>(plan->tiles());
-    halo_.assign(t, std::vector<std::vector<HaloWrite>>(t));
-  }
+  rebuild_layout();
 }
 
 void BlessFabric::shard_route(Cycle now, int tile) {
+  NOCSIM_PHASE("route");
   // Same worklist walk as step(), restricted to this tile's bits. Boundary
   // words are shared between tiles, so loads and clears go through
   // std::atomic_ref; each tile only consumes (and clears) its own mask, and
@@ -111,22 +180,30 @@ void BlessFabric::shard_route(Cycle now, int tile) {
 }
 
 void BlessFabric::shard_exchange(Cycle now, int tile) {
+  NOCSIM_PHASE("exchange");
   // Apply latch writes other tiles routed toward this tile's rows. The
   // slots are distinct (one flit per link per cycle), so apply order does
   // not matter; the active-word OR is atomic because boundary words are
   // shared with neighbouring tiles doing the same.
   LatchBank& out_bank = banks_[(now + static_cast<Cycle>(hop_latency_)) % banks_.size()];
-  for (auto& from_src : halo_) {
-    auto& box = from_src[static_cast<std::size_t>(tile)];
-    for (const HaloWrite& hw : box) {
+  const int tiles = plan_->tiles();
+  FlitHeader* const out_h = out_bank.hdr[static_cast<std::size_t>(tile)];
+  FlitPayload* const out_p = out_bank.pay[static_cast<std::size_t>(tile)];
+  std::uint8_t* const out_v = out_bank.valid[static_cast<std::size_t>(tile)];
+  for (int src = 0; src < tiles; ++src) {
+    HaloBox& box = halo_[static_cast<std::size_t>(src) * tiles + tile];
+    for (std::uint32_t i = 0; i < box.count; ++i) {
+      const HaloWrite& hw = box.slots[i];
       NOCSIM_SHARD_CHECK_WRITE(hw.node, "halo latch apply (shard_exchange)");
-      NOCSIM_DCHECK((out_bank.valid[hw.node] & (1u << hw.port)) == 0);
-      out_bank.latch[hw.node][hw.port] = hw.flit;
-      out_bank.valid[hw.node] |= static_cast<std::uint8_t>(1u << hw.port);
+      const std::size_t local = plan_->local_of(hw.node);
+      NOCSIM_DCHECK((out_v[local] & (1u << hw.port)) == 0);
+      out_h[local * kNumDirs + hw.port] = hw.h;
+      out_p[local * kNumDirs + hw.port] = hw.p;
+      out_v[local] |= static_cast<std::uint8_t>(1u << hw.port);
       std::atomic_ref<std::uint64_t>(out_bank.active[static_cast<std::size_t>(hw.node) >> 6])
           .fetch_or(std::uint64_t{1} << (hw.node & 63), std::memory_order_relaxed);
     }
-    box.clear();
+    box.count = 0;
   }
 }
 
@@ -136,29 +213,40 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
   const auto& st = nodes_[n];
   [[maybe_unused]] ShardTile* const ts =
       Sharded ? &shard_tiles_[static_cast<std::size_t>(tile)] : nullptr;
-  (void)tile;
+  const std::size_t t = Sharded ? static_cast<std::size_t>(tile) : 0;
+  const std::size_t local = Sharded ? plan_->local_of(n) : static_cast<std::size_t>(n);
 
-  // Gather arrivals; clear the latches (every flit present leaves this cycle).
-  std::array<Flit, kNumDirs + 1> flits;
+  // Gather arrival headers; clear the latches (every flit present leaves
+  // this cycle). Payloads stay put in the bank lane — only a pointer is
+  // carried — and are copied once, straight into the downstream slot.
+  std::array<FlitHeader, kNumDirs + 1> hs;
+  std::array<const FlitPayload*, kNumDirs + 1> ps;
   int count = 0;
-  const std::uint8_t lv = cur_->valid[n];
+  const std::uint8_t lv = cur_->valid[t][local];
   if (lv != 0) {
-    const auto& latch = cur_->latch[n];
+    const FlitHeader* in_h = cur_->hdr[t] + local * kNumDirs;
+    const FlitPayload* in_p = cur_->pay[t] + local * kNumDirs;
     for (int p = 0; p < kNumDirs; ++p) {
-      if (lv & (1u << p)) flits[count++] = latch[p];
+      if (lv & (1u << p)) {
+        hs[count] = in_h[p];
+        ps[count] = &in_p[p];
+        ++count;
+      }
     }
-    cur_->valid[n] = 0;
+    cur_->valid[t][local] = 0;
   }
 
   // 1. Ejection: oldest flit destined here (width 1).
   int eject_idx = -1;
   for (int i = 0; i < count; ++i) {
-    if (flits[i].dst == n && (eject_idx < 0 || older_than(flits[i], flits[eject_idx])))
+    if (hs[i].dst == n && (eject_idx < 0 || older_than(hs[i], hs[eject_idx])))
       eject_idx = i;
   }
   if (eject_idx >= 0) {
-    Flit out = flits[eject_idx];
-    flits[eject_idx] = flits[--count];
+    Flit out = assemble_flit(hs[eject_idx], *ps[eject_idx]);
+    --count;
+    hs[eject_idx] = hs[count];
+    ps[eject_idx] = ps[count];
     if constexpr (Sharded) {
       eject_shard(n, out, *ts);
     } else {
@@ -169,19 +257,23 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
   }
 
   // 2. Injection (node layer already checked can_accept).
+  FlitPayload inj_pay;
   if (pending_inject_[n].requested) {
     pending_inject_[n].requested = false;
     NOCSIM_CHECK_MSG(count < st.degree, "injection requested without a free output link");
-    Flit f = pending_inject_[n].flit;
-    f.inject_cycle = now;
-    flits[count++] = f;
+    const Flit& f = pending_inject_[n].flit;
+    hs[count] = header_of(f);
+    hs[count].inject_cycle = now;
+    inj_pay = payload_of(f);
+    ps[count] = &inj_pay;
+    ++count;
     if constexpr (Sharded) {
       ++ts->net_delta;
       ++ts->flits_injected;
     } else {
       ++in_network_;
       ++stats_.flits_injected;
-      if (trace_ != nullptr) trace_->on_inject(now, n, f);
+      if (trace_ != nullptr) trace_->on_inject(now, n, assemble_flit(hs[count - 1], inj_pay));
     }
   }
 
@@ -189,11 +281,12 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
   NOCSIM_CHECK_MSG(count <= st.degree, "more through flits than output ports");
 
   // 3. Oldest-first port allocation with XY preference; deflect losers.
-  // Tiny insertion sort (count <= 4): indices into flits[], oldest first.
+  // Tiny insertion sort (count <= 4): indices into hs[], oldest first.
+  // Arbitration reads headers only.
   std::array<int, kNumDirs + 1> order;
   for (int i = 0; i < count; ++i) {
     int j = i;
-    while (j > 0 && older_than(flits[i], flits[order[j - 1]])) {
+    while (j > 0 && older_than(hs[i], hs[order[j - 1]])) {
       order[j] = order[j - 1];
       --j;
     }
@@ -204,51 +297,57 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
   LatchBank& out_bank = banks_[(now + static_cast<Cycle>(hop_latency_)) % banks_.size()];
   std::uint8_t taken = 0;  // output-port bitmask
   for (int k = 0; k < count; ++k) {
-    Flit& f = flits[order[k]];
-    const RoutePreference pref = route_pref(n, f.dst);
+    FlitHeader& h = hs[order[k]];
+    const FlitPayload* const p = ps[order[k]];
+    const RoutePreference pref = route_pref(n, h.dst);
     const int desired =
         (routing_ == BlessRouting::StrictXY) ? std::min(pref.count, 1) : pref.count;
     int assigned = -1;
     bool productive = false;
     for (int c = 0; c < desired && assigned < 0; ++c) {
-      const int p = static_cast<int>(pref.dirs[c]);
-      if (st.nbr[p] != kInvalidNode && !(taken & (1u << p))) {
-        assigned = p;
+      const int port = static_cast<int>(pref.dirs[c]);
+      if (st.nbr[port] != kInvalidNode && !(taken & (1u << port))) {
+        assigned = port;
         productive = true;
       }
     }
+    bool deflected = false;
     if (assigned < 0) {  // deflect: any free existing port
-      for (int p = 0; p < kNumDirs; ++p) {
-        if (st.nbr[p] != kInvalidNode && !(taken & (1u << p))) {
-          assigned = p;
+      for (int port = 0; port < kNumDirs; ++port) {
+        if (st.nbr[port] != kInvalidNode && !(taken & (1u << port))) {
+          assigned = port;
           break;
         }
       }
       NOCSIM_CHECK_MSG(assigned >= 0, "no free output port: flit would be dropped");
-      ++f.deflections;
+      deflected = true;
       ++node_deflections_[static_cast<std::size_t>(n)];
       if constexpr (Sharded) {
         ++ts->deflections;
       } else {
         ++stats_.deflections;
-        if (trace_ != nullptr) trace_->on_deflect(now, n, f);
+        if (trace_ != nullptr) {
+          FlitPayload tp = *p;
+          ++tp.deflections;
+          trace_->on_deflect(now, n, assemble_flit(h, tp));
+        }
       }
     }
     taken |= static_cast<std::uint8_t>(1u << assigned);
 
-    ++f.hops;
-    if (mark) f.congested_bit = true;
+    if (mark) h.congested_bit = true;
     if constexpr (Sharded) {
       if (productive) ++ts->productive_hops;
       ++ts->flit_hops;
     } else {
       if (productive) ++stats_.productive_hops;
       ++stats_.flit_hops;
-      if (trace_ != nullptr) trace_->on_hop(now, n, st.nbr[assigned], f);
     }
 
     // Link traversal: write straight into the downstream router's input
-    // latch in the bank that becomes current at now + hop_latency.
+    // latch in the bank that becomes current at now + hop_latency. The
+    // cold payload is copied here, once, and its per-hop counters are
+    // bumped at the destination slot.
     const NodeId next = st.nbr[assigned];
     const auto in_port =
         static_cast<std::uint8_t>(opposite(static_cast<Dir>(assigned)));
@@ -256,22 +355,44 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
       if (!plan_->owns(tile, next)) {
         // Boundary crossing: the target tile applies this in shard_exchange.
         NOCSIM_SHARD_CHECK_HALO(tile, plan_->tile_of(next));
-        halo_[static_cast<std::size_t>(tile)][static_cast<std::size_t>(plan_->tile_of(next))]
-            .push_back(HaloWrite{next, in_port, f});
+        HaloBox& box =
+            halo_[t * static_cast<std::size_t>(plan_->tiles()) +
+                  static_cast<std::size_t>(plan_->tile_of(next))];
+        NOCSIM_DCHECK(box.count < box.cap);
+        HaloWrite& hw = box.slots[box.count++];
+        hw.h = h;
+        hw.p = *p;
+        ++hw.p.hops;
+        if (deflected) ++hw.p.deflections;
+        hw.node = next;
+        hw.port = in_port;
+        ++ts->halo_writes;
+        ts->halo_bytes += sizeof(HaloWrite);
         continue;
       }
       NOCSIM_SHARD_CHECK_WRITE(next, "downstream latch (route_node)");
-      NOCSIM_DCHECK((out_bank.valid[next] & (1u << in_port)) == 0);
-      out_bank.latch[next][in_port] = f;
-      out_bank.valid[next] |= static_cast<std::uint8_t>(1u << in_port);
+      const std::size_t nl = plan_->local_of(next);
+      NOCSIM_DCHECK((out_bank.valid[t][nl] & (1u << in_port)) == 0);
+      FlitPayload& dp = out_bank.pay[t][nl * kNumDirs + in_port];
+      dp = *p;
+      ++dp.hops;
+      if (deflected) ++dp.deflections;
+      out_bank.hdr[t][nl * kNumDirs + in_port] = h;
+      out_bank.valid[t][nl] |= static_cast<std::uint8_t>(1u << in_port);
       std::atomic_ref<std::uint64_t>(out_bank.active[static_cast<std::size_t>(next) >> 6])
           .fetch_or(std::uint64_t{1} << (next & 63), std::memory_order_relaxed);
     } else {
-      NOCSIM_DCHECK((out_bank.valid[next] & (1u << in_port)) == 0);
-      out_bank.latch[next][in_port] = f;
-      out_bank.valid[next] |= static_cast<std::uint8_t>(1u << in_port);
+      NOCSIM_DCHECK((out_bank.valid[0][next] & (1u << in_port)) == 0);
+      const std::size_t slot = static_cast<std::size_t>(next) * kNumDirs + in_port;
+      FlitPayload& dp = out_bank.pay[0][slot];
+      dp = *p;
+      ++dp.hops;
+      if (deflected) ++dp.deflections;
+      out_bank.hdr[0][slot] = h;
+      out_bank.valid[0][next] |= static_cast<std::uint8_t>(1u << in_port);
       out_bank.active[static_cast<std::size_t>(next) >> 6] |=
           std::uint64_t{1} << (next & 63);
+      if (trace_ != nullptr) trace_->on_hop(now, n, next, assemble_flit(h, dp));
     }
   }
 }

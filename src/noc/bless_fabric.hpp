@@ -23,11 +23,20 @@
 // (conflict-free by the one-flit-per-link-per-cycle invariant), so
 // begin_cycle() is a pointer swap and step() walks only the bank's active
 // bitmap — routers without arrivals or injections are never touched.
+//
+// Memory layout (see DESIGN.md "Memory layout"): each latch bank stores
+// header and payload lanes separately (SoA), carved from one bump arena per
+// tile, so ejection/arbitration scans stream 20-byte headers and the cold
+// payload is copied once per hop. Halo outboxes are fixed-capacity arena
+// arrays (capacity = the tile pair's cross-link count) owned by the writing
+// tile; together with the shared occupancy bitmap words they are the only
+// cachelines two tiles both touch.
 #pragma once
 
 #include <array>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "noc/fabric.hpp"
 
 namespace nocsim {
@@ -69,20 +78,23 @@ class BlessFabric final : public Fabric {
     std::array<NodeId, kNumDirs> nbr{}; ///< neighbour id per port (or kInvalidNode)
   };
 
-  /// One pipeline phase of arrival latches for the whole network. The bank
-  /// at index `cycle % banks_.size()` holds exactly the flits arriving that
-  /// cycle; upstream routers wrote them in place `hop_latency` cycles ago
-  /// (that slot can never alias the writer's own current bank since
-  /// hop_latency % (hop_latency + 1) != 0).
+  /// One pipeline phase of arrival latches for the whole network, as
+  /// per-tile SoA lanes (serial runs are one tile spanning every node). The
+  /// bank at index `cycle % banks_.size()` holds exactly the flits arriving
+  /// that cycle; upstream routers wrote them in place `hop_latency` cycles
+  /// ago (that slot can never alias the writer's own current bank since
+  /// hop_latency % (hop_latency + 1) != 0). Lanes index [local * kNumDirs +
+  /// input port] with `local` the node's dense index within its tile.
   struct LatchBank {
-    std::vector<std::array<Flit, kNumDirs>> latch;  ///< [node][input port]
-    std::vector<std::uint8_t> valid;                ///< bitmask over latch[n]
-    std::vector<std::uint64_t> active;              ///< one bit per node with valid != 0
+    std::vector<FlitHeader*> hdr;     ///< [tile] -> header lane
+    std::vector<FlitPayload*> pay;    ///< [tile] -> payload lane
+    std::vector<std::uint8_t*> valid; ///< [tile] -> port bitmask per local node
+    std::uint64_t* active = nullptr;  ///< one bit per node with valid != 0 (shared words)
   };
 
   /// One router's eject/inject/allocate/move step. The Sharded variant
   /// writes counters to the tile's scratch, buffers eject records for the
-  /// ascending-tile replay, and routes cross-tile latch writes through the
+  /// merge-by-node replay, and routes cross-tile latch writes through the
   /// halo outboxes instead of touching another tile's rows directly.
   template <bool Sharded>
   void route_node(Cycle now, NodeId n, int tile);
@@ -91,21 +103,39 @@ class BlessFabric final : public Fabric {
   /// *target* tile in shard_exchange, so every latch slot has exactly one
   /// writer thread. (One flit per link per cycle makes the slots distinct.)
   struct HaloWrite {
+    FlitHeader h;
+    FlitPayload p;
     NodeId node;
     std::uint8_t port;
-    Flit flit;
   };
+
+  /// Fixed-capacity outbox for one (src tile, dst tile) pair, backed by the
+  /// src tile's arena. Capacity is the number of directed links crossing
+  /// from src to dst — the hard bound on staged writes per cycle.
+  struct HaloBox {
+    HaloWrite* slots = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t cap = 0;
+  };
+
+  /// (Re)carve every latch lane and halo outbox from per-tile arenas for
+  /// the current plan (serial = one tile). Only legal on an empty network.
+  void rebuild_layout();
 
   BlessRouting routing_ NOCSIM_SHARED_READONLY;
   /// Read-only after the ctor here, but the annotation table is name-keyed
   /// and BufferedFabric's nodes_ is genuinely tile-local mutable state.
   std::vector<NodeState> nodes_ NOCSIM_TILE_LOCAL;
-  /// Ring of hop_latency + 1 phases. Latch slots are per-node (tile-local by
-  /// row range); cross-tile writes detour through halo_ (runtime-checked).
+  /// One bump arena per tile holding that tile's latch lanes and outboxes,
+  /// plus a final shared arena for the occupancy bitmap words (the one lane
+  /// that is cross-tile by design: boundary words take atomic RMWs).
+  std::vector<Arena> arenas_ NOCSIM_TILE_LOCAL;
+  /// Ring of hop_latency + 1 phases. Latch lanes are tile-owned; cross-tile
+  /// writes detour through halo_ (runtime-checked).
   std::vector<LatchBank> banks_ NOCSIM_TILE_LOCAL;
   LatchBank* cur_ NOCSIM_SHARED_READONLY = nullptr;  ///< bank for the cycle begun last
   Cycle last_begun_ NOCSIM_SHARED_READONLY = ~Cycle{0};
-  std::vector<std::vector<std::vector<HaloWrite>>> halo_ NOCSIM_HALO_ONLY;  ///< [src][dst]
+  std::vector<HaloBox> halo_ NOCSIM_HALO_ONLY;  ///< [src * tiles + dst]
 };
 
 }  // namespace nocsim

@@ -36,9 +36,9 @@ int BufferedFabric::route_port(NodeId n, NodeId dst) const {
   return static_cast<int>(pref.dirs[0]);  // strict XY: x offset consumed first
 }
 
-std::uint8_t BufferedFabric::next_vc_state(NodeId n, int op, const Flit& f) const {
-  if (!torus_ || op == static_cast<int>(Dir::Local)) return f.vc_state;
-  std::uint8_t state = f.vc_state;
+std::uint8_t BufferedFabric::next_vc_state(NodeId n, int op, std::uint8_t vc_state) const {
+  if (!torus_ || op == static_cast<int>(Dir::Local)) return vc_state;
+  std::uint8_t state = vc_state;
   const auto dir = static_cast<Dir>(op);
   const bool y_dim = (dir == Dir::North || dir == Dir::South);
   if (y_dim && !(state & 2)) state = 2;  // entering the y phase: class resets to 0
@@ -60,7 +60,7 @@ void BufferedFabric::begin_cycle(Cycle now) {
   for (const LinkArrival& a : slot) {
     auto& vc = nodes_[a.node].in_vc[a.port][a.vc];
     NOCSIM_CHECK_MSG(vc.fifo.size() < kVcDepth, "credit protocol violated: FIFO overflow");
-    vc.fifo.push_back(a.flit);
+    vc.fifo.push_back(a.h, a.p);
     ++nodes_[a.node].flits_buffered;
     ++stats_.buffer_writes;
     work_words_[static_cast<std::size_t>(a.node) >> 6] |= std::uint64_t{1} << (a.node & 63);
@@ -89,13 +89,40 @@ bool BufferedFabric::can_accept(NodeId n) const {
 void BufferedFabric::set_shard_plan(const ShardPlan* plan) {
   Fabric::set_shard_plan(plan);
   tile_links_.clear();
+  arenas_.clear();
   if (plan != nullptr) {
     const auto t = static_cast<std::size_t>(plan->tiles());
+    // Directed cross-tile link counts bound the outboxes: at most one flit
+    // and one credit cross each directed link per cycle (a credit for the
+    // flit node n received from nbr travels the same n -> nbr link).
+    std::vector<std::uint32_t> cross(t * t, 0);
+    for (NodeId n = 0; n < topo_.num_nodes(); ++n) {
+      const auto src = static_cast<std::size_t>(plan->tile_of(n));
+      for (int d = 0; d < kNumDirs; ++d) {
+        const NodeId nb = nodes_[static_cast<std::size_t>(n)].nbr[d];
+        if (nb == kInvalidNode) continue;
+        const auto dst = static_cast<std::size_t>(plan->tile_of(nb));
+        if (dst != src) ++cross[src * t + dst];
+      }
+    }
     tile_links_.resize(t);
-    for (TileLinks& tl : tile_links_) {
+    arenas_.resize(t);
+    for (std::size_t s = 0; s < t; ++s) {
+      std::size_t bytes = 0;
+      for (std::size_t d = 0; d < t; ++d) {
+        bytes += Arena::lane_bytes<LinkArrival>(cross[s * t + d]);
+        bytes += Arena::lane_bytes<CreditReturn>(cross[s * t + d]);
+      }
+      arenas_[s].reserve(bytes);
+      TileLinks& tl = tile_links_[s];
       tl.wheel.resize(static_cast<std::size_t>(hop_latency_) + 1);
       tl.out_arr.resize(t);
       tl.out_cred.resize(t);
+      for (std::size_t d = 0; d < t; ++d) {
+        const std::uint32_t cap = cross[s * t + d];
+        tl.out_arr[d] = ArrBox{arenas_[s].alloc_array<LinkArrival>(cap), 0, cap};
+        tl.out_cred[d] = CredBox{arenas_[s].alloc_array<CreditReturn>(cap), 0, cap};
+      }
     }
   }
 }
@@ -108,6 +135,7 @@ void BufferedFabric::shard_begin(Cycle now) {
 }
 
 void BufferedFabric::shard_deliver(Cycle now, int tile) {
+  NOCSIM_PHASE("deliver");
   TileLinks& tl = tile_links_[static_cast<std::size_t>(tile)];
   ShardTile& ts = shard_tiles_[static_cast<std::size_t>(tile)];
 
@@ -116,7 +144,7 @@ void BufferedFabric::shard_deliver(Cycle now, int tile) {
     NOCSIM_SHARD_CHECK_WRITE(a.node, "fifo delivery (shard_deliver)");
     auto& vc = nodes_[a.node].in_vc[a.port][a.vc];
     NOCSIM_CHECK_MSG(vc.fifo.size() < kVcDepth, "credit protocol violated: FIFO overflow");
-    vc.fifo.push_back(a.flit);
+    vc.fifo.push_back(a.h, a.p);
     ++nodes_[a.node].flits_buffered;
     ++ts.buffer_writes;
     std::atomic_ref<std::uint64_t>(work_words_[static_cast<std::size_t>(a.node) >> 6])
@@ -135,6 +163,7 @@ void BufferedFabric::shard_deliver(Cycle now, int tile) {
 }
 
 void BufferedFabric::shard_route(Cycle now, int tile) {
+  NOCSIM_PHASE("route");
   // step()'s worklist walk restricted to this tile's bits; boundary words
   // are shared between tiles, so loads, clears, and the carried-over
   // "still busy" OR go through std::atomic_ref. No tile sets another
@@ -165,6 +194,7 @@ void BufferedFabric::shard_route(Cycle now, int tile) {
 }
 
 void BufferedFabric::shard_exchange(Cycle now, int tile) {
+  NOCSIM_PHASE("exchange");
   // Collect arrivals and credits other tiles routed toward this tile into
   // its own wheels. Same-slot entries address distinct FIFOs / credit
   // counters, so the src-tile visit order is immaterial.
@@ -172,18 +202,20 @@ void BufferedFabric::shard_exchange(Cycle now, int tile) {
   const std::size_t aslot = (now + static_cast<Cycle>(hop_latency_)) % tl.wheel.size();
   const std::size_t cslot = (now + 1) % tl.credit.size();
   for (TileLinks& src : tile_links_) {
-    auto& abox = src.out_arr[static_cast<std::size_t>(tile)];
-    for (const LinkArrival& a : abox) {
+    ArrBox& abox = src.out_arr[static_cast<std::size_t>(tile)];
+    for (std::uint32_t i = 0; i < abox.count; ++i) {
+      const LinkArrival& a = abox.slots[i];
       NOCSIM_SHARD_CHECK_WRITE(a.node, "halo arrival apply (shard_exchange)");
       tl.wheel[aslot].push_back(a);
     }
-    abox.clear();
-    auto& cbox = src.out_cred[static_cast<std::size_t>(tile)];
-    for (const CreditReturn& c : cbox) {
+    abox.count = 0;
+    CredBox& cbox = src.out_cred[static_cast<std::size_t>(tile)];
+    for (std::uint32_t i = 0; i < cbox.count; ++i) {
+      const CreditReturn& c = cbox.slots[i];
       NOCSIM_SHARD_CHECK_WRITE(c.node, "halo credit apply (shard_exchange)");
       tl.credit[cslot].push_back(c);
     }
-    cbox.clear();
+    cbox.count = 0;
   }
 }
 
@@ -221,7 +253,7 @@ void BufferedFabric::accept_injection(Cycle now, NodeId n, int tile) {
 
   auto& fifo = st.in_vc[static_cast<int>(Dir::Local)][vc].fifo;
   NOCSIM_CHECK_MSG(fifo.size() < kVcDepth, "injection FIFO overflow");
-  fifo.push_back(f);
+  fifo.push_back(header_of(f), payload_of(f));
   ++st.flits_buffered;
   if constexpr (Sharded) {
     ShardTile& ts = shard_tiles_[static_cast<std::size_t>(tile)];
@@ -274,9 +306,11 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
   (void)tile;
 
   // Gather switch-allocation candidates: head flits of non-empty input VCs.
+  // Only the header lane of each FIFO head is touched here; the cold payload
+  // lane is read once per granted flit below.
   struct Candidate {
     std::uint8_t port, vc, out_port;
-    const Flit* flit;
+    const FlitHeader* hdr;
   };
   std::array<Candidate, kInPorts * kVcs> cands;
   int num_cands = 0;
@@ -284,10 +318,10 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
     for (int v = 0; v < kVcs; ++v) {
       const auto& vc = st.in_vc[p][v];
       if (vc.fifo.empty()) continue;
-      const Flit& f = vc.fifo.front();
-      const int op = vc.alloc_valid ? vc.alloc_op : route_port(n, f.dst);
+      const FlitHeader& h = vc.fifo.front_header();
+      const int op = vc.alloc_valid ? vc.alloc_op : route_port(n, h.dst);
       cands[num_cands++] = {static_cast<std::uint8_t>(p), static_cast<std::uint8_t>(v),
-                            static_cast<std::uint8_t>(op), &f};
+                            static_cast<std::uint8_t>(op), &h};
     }
   }
   if (num_cands == 0) return;
@@ -300,8 +334,8 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
   // across standard libraries.
   std::sort(cands.begin(), cands.begin() + num_cands,
             [](const Candidate& a, const Candidate& b) {
-              if (older_than(*a.flit, *b.flit)) return true;
-              if (older_than(*b.flit, *a.flit)) return false;
+              if (older_than(*a.hdr, *b.hdr)) return true;
+              if (older_than(*b.hdr, *a.hdr)) return false;
               return (a.port << 8 | a.vc) < (b.port << 8 | b.vc);
             });
 
@@ -328,7 +362,11 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
         tl.credit[(now + 1) % tl.credit.size()].push_back(cr);
       } else {
         NOCSIM_SHARD_CHECK_HALO(tile, dt);
-        tl.out_cred[static_cast<std::size_t>(dt)].push_back(cr);
+        CredBox& box = tl.out_cred[static_cast<std::size_t>(dt)];
+        NOCSIM_DCHECK(box.count < box.cap);
+        box.slots[box.count++] = cr;
+        ++ts->halo_writes;
+        ts->halo_bytes += sizeof(CreditReturn);
       }
     } else {
       credit_wheel_[(now + 1) % credit_wheel_.size()].push_back(cr);
@@ -341,24 +379,23 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
     if (out_used & (1u << c.out_port)) continue;
 
     auto& vcs = st.in_vc[c.port][c.vc];
-    const Flit f = vcs.fifo.front();
-    const bool is_head = (f.flit_idx == 0);
-    const bool is_tail = (f.flit_idx + 1 == f.packet_len);
+    const FlitHeader h = vcs.fifo.front_header();
+    const bool is_head = (h.flit_idx == 0);
     const int op = c.out_port;
 
     if (op == static_cast<int>(Dir::Local)) {
       // Ejection: no VC or credit needed; the NI sink always accepts.
+      Flit out = assemble_flit(h, vcs.fifo.front_payload());
       vcs.fifo.pop_front();
       --st.flits_buffered;
       return_credit(c.port, c.vc);
       if constexpr (Sharded) {
         ++ts->buffer_reads;
-        eject_shard(n, f, *ts);
+        eject_shard(n, out, *ts);
       } else {
         ++stats_.buffer_reads;
         NOCSIM_DCHECK(in_network_ > 0);
         --in_network_;
-        Flit out = f;
         eject(now, n, out);
       }
       in_used |= static_cast<std::uint8_t>(1u << c.port);
@@ -372,7 +409,7 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
       if (vc_alloc_done[op]) continue;  // one VC allocation per output per cycle
       int v_lo = 0, v_hi = kVcs;
       if (torus_) {
-        const int cls = vc_class_of(next_vc_state(n, op, f));
+        const int cls = vc_class_of(next_vc_state(n, op, h.vc_state));
         v_lo = cls * (kVcs / 2);
         v_hi = v_lo + kVcs / 2;
       }
@@ -395,19 +432,22 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
 
     if (st.credits[op][ovc] == 0) continue;  // downstream FIFO full
 
-    // Traverse.
+    // Traverse. The granted flit's payload is read exactly once, here.
+    FlitPayload p = vcs.fifo.front_payload();
     vcs.fifo.pop_front();
     --st.flits_buffered;
     return_credit(c.port, c.vc);
     --st.credits[op][ovc];
-    Flit moving = f;
-    moving.vc_state = next_vc_state(n, op, moving);
-    ++moving.hops;
-    if (node_marks(n)) moving.congested_bit = true;
+    FlitHeader mh = h;
+    mh.vc_state = next_vc_state(n, op, h.vc_state);
+    ++p.hops;
+    if (node_marks(n)) mh.congested_bit = true;
+    const bool is_tail = (h.flit_idx + 1 == p.packet_len);
     const NodeId next = st.nbr[op];
     NOCSIM_CHECK_MSG(next != kInvalidNode, "XY routing chose a missing link");
-    const LinkArrival arr{next, static_cast<std::uint8_t>(opposite(static_cast<Dir>(op))),
-                          static_cast<std::uint8_t>(ovc), moving};
+    const LinkArrival arr{mh, p, next,
+                          static_cast<std::uint8_t>(opposite(static_cast<Dir>(op))),
+                          static_cast<std::uint8_t>(ovc)};
     if constexpr (Sharded) {
       ++ts->buffer_reads;
       ++ts->flit_hops;
@@ -418,13 +458,17 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
         tl.wheel[(now + static_cast<Cycle>(hop_latency_)) % tl.wheel.size()].push_back(arr);
       } else {
         NOCSIM_SHARD_CHECK_HALO(tile, dt);
-        tl.out_arr[static_cast<std::size_t>(dt)].push_back(arr);
+        ArrBox& box = tl.out_arr[static_cast<std::size_t>(dt)];
+        NOCSIM_DCHECK(box.count < box.cap);
+        box.slots[box.count++] = arr;
+        ++ts->halo_writes;
+        ts->halo_bytes += sizeof(LinkArrival);
       }
     } else {
       ++stats_.buffer_reads;
       ++stats_.flit_hops;
       ++stats_.productive_hops;  // XY routing: every buffered hop is minimal
-      if (trace_ != nullptr) trace_->on_hop(now, n, next, moving);
+      if (trace_ != nullptr) trace_->on_hop(now, n, next, assemble_flit(mh, p));
       wheel_[(now + static_cast<Cycle>(hop_latency_)) % wheel_.size()].push_back(arr);
     }
 

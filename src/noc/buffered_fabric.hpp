@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "noc/fabric.hpp"
 
 namespace nocsim {
@@ -54,17 +55,25 @@ class BufferedFabric final : public Fabric {
  private:
   /// Fixed-capacity flit FIFO, matching the hardware buffer exactly
   /// (kVcDepth slots). A ring buffer keeps the hot path allocation-free.
+  /// Storage is SoA (see flit.hpp): switch arbitration reads only the
+  /// header lane of FIFO heads; the payload lane is read once per grant.
   class VcFifo {
    public:
     [[nodiscard]] bool empty() const { return count_ == 0; }
     [[nodiscard]] std::size_t size() const { return count_; }
-    [[nodiscard]] const Flit& front() const {
+    [[nodiscard]] const FlitHeader& front_header() const {
       NOCSIM_DCHECK(count_ > 0);
-      return slots_[head_];
+      return hdr_[head_];
     }
-    void push_back(const Flit& f) {
+    [[nodiscard]] const FlitPayload& front_payload() const {
+      NOCSIM_DCHECK(count_ > 0);
+      return pay_[head_];
+    }
+    void push_back(const FlitHeader& h, const FlitPayload& p) {
       NOCSIM_CHECK_MSG(count_ < kVcDepth, "VC FIFO overflow");
-      slots_[(head_ + count_) % kVcDepth] = f;
+      const std::uint8_t slot = static_cast<std::uint8_t>((head_ + count_) % kVcDepth);
+      hdr_[slot] = h;
+      pay_[slot] = p;
       ++count_;
     }
     void pop_front() {
@@ -74,7 +83,8 @@ class BufferedFabric final : public Fabric {
     }
 
    private:
-    std::array<Flit, kVcDepth> slots_;
+    std::array<FlitHeader, kVcDepth> hdr_;
+    std::array<FlitPayload, kVcDepth> pay_;
     std::uint8_t head_ = 0;
     std::uint8_t count_ = 0;
   };
@@ -101,10 +111,11 @@ class BufferedFabric final : public Fabric {
   };
 
   struct LinkArrival {
+    FlitHeader h;
+    FlitPayload p;
     NodeId node;
     std::uint8_t port;  ///< input port at the arrival node
     std::uint8_t vc;
-    Flit flit;
   };
 
   struct CreditReturn {
@@ -118,7 +129,7 @@ class BufferedFabric final : public Fabric {
 
   /// Dateline bookkeeping (torus): the vc_state the flit will carry on the
   /// link out of port `op` at node `n`. Identity on a mesh.
-  [[nodiscard]] std::uint8_t next_vc_state(NodeId n, int op, const Flit& f) const;
+  [[nodiscard]] std::uint8_t next_vc_state(NodeId n, int op, std::uint8_t vc_state) const;
 
   /// VC class (0 or 1) implied by a vc_state; class c may use VCs
   /// [c*2, c*2+1] on a torus, any VC on a mesh.
@@ -129,13 +140,27 @@ class BufferedFabric final : public Fabric {
   template <bool Sharded>
   void accept_injection(Cycle now, NodeId n, int tile);
 
+  /// Fixed-capacity outboxes for one (src tile, dst tile) pair, backed by
+  /// the src tile's arena. At most one flit and one credit cross a directed
+  /// link per cycle, so the pair's cross-link count caps both.
+  struct ArrBox {
+    LinkArrival* slots = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t cap = 0;
+  };
+  struct CredBox {
+    CreditReturn* slots = nullptr;
+    std::uint32_t count = 0;
+    std::uint32_t cap = 0;
+  };
+
   /// Tile-local link state when sharded: the tile's slice of the arrival
   /// and credit wheels, plus outboxes for pushes that target another tile.
   struct TileLinks {
     std::vector<std::vector<LinkArrival>> wheel;      ///< [slot]
     std::array<std::vector<CreditReturn>, 2> credit;  ///< [slot parity]
-    std::vector<std::vector<LinkArrival>> out_arr;    ///< [dst tile]
-    std::vector<std::vector<CreditReturn>> out_cred;  ///< [dst tile]
+    std::vector<ArrBox> out_arr;                      ///< [dst tile]
+    std::vector<CredBox> out_cred;                    ///< [dst tile]
   };
 
   bool torus_ NOCSIM_SHARED_READONLY = false;
@@ -148,6 +173,9 @@ class BufferedFabric final : public Fabric {
   /// Per-tile wheels plus [dst tile] outboxes; only out_arr/out_cred carry
   /// cross-tile effects (applied by the owner in shard_exchange).
   std::vector<TileLinks> tile_links_ NOCSIM_TILE_LOCAL;
+  /// One bump arena per tile backing that tile's outbox slot arrays
+  /// (sharded runs only; serial runs never stage cross-tile pushes).
+  std::vector<Arena> arenas_ NOCSIM_TILE_LOCAL;
   /// Bitmap over nodes with flits_buffered != 0. Set on arrival delivery;
   /// a bit survives step() until its router drains, so blocked routers are
   /// revisited every cycle but empty ones are never scanned. Tile-local by

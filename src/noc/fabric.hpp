@@ -17,7 +17,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstdlib>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/shard.hpp"
@@ -45,6 +47,12 @@ struct FabricStats {
   std::uint64_t productive_hops = 0;
   std::uint64_t buffer_reads = 0;     ///< buffered fabric only
   std::uint64_t buffer_writes = 0;    ///< buffered fabric only
+  /// Cross-tile traffic staged through halo outboxes (sharded stepping
+  /// only; structurally zero in a serial run). Writes count staged records
+  /// (link traversals + credit returns), bytes count their storage size —
+  /// the quantity 2D tiling exists to shrink.
+  std::uint64_t halo_writes = 0;
+  std::uint64_t halo_bytes = 0;
   StatAccumulator net_latency;        ///< inject -> eject, cycles
   StatAccumulator total_latency;      ///< NI enqueue -> eject, cycles
   StatAccumulator hops_per_flit;      ///< links traversed per delivered flit
@@ -99,6 +107,26 @@ class Fabric {
           dist_tab_[i] = static_cast<std::uint16_t>(topo.distance(from, to));
         }
       }
+    } else {
+      // Above the table cap, avoid the virtual route_preference/distance
+      // calls (once per flit per hop / per delivered flit) by recognizing
+      // the two concrete topologies and computing XY preferences inline.
+      // Cached coordinate lanes replace the per-call division by width.
+      const std::string name = topo.name();
+      if (name == "mesh") {
+        analytic_ = TopoKind::Mesh;
+      } else if (name == "torus") {
+        analytic_ = TopoKind::Torus;
+      }
+      if (analytic_ != TopoKind::Generic) {
+        coord_x_.resize(static_cast<std::size_t>(topo.num_nodes()));
+        coord_y_.resize(static_cast<std::size_t>(topo.num_nodes()));
+        for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+          const Coord c = topo.coord_of(n);
+          coord_x_[static_cast<std::size_t>(n)] = static_cast<std::int16_t>(c.x);
+          coord_y_[static_cast<std::size_t>(n)] = static_cast<std::int16_t>(c.y);
+        }
+      }
     }
   }
   virtual ~Fabric() = default;
@@ -131,14 +159,17 @@ class Fabric {
   //                                    off-tile link writes go to outboxes
   //   5. shard_exchange(now, tile)   — parallel: apply halo writes *to* tile
   //   6. shard_finish(now)           — serial: fold per-tile counters and
-  //                                    replay buffered ejects in ascending
-  //                                    tile order (bit-identical to serial)
+  //                                    replay buffered ejects merged by node
+  //                                    id (bit-identical to serial)
   //
-  // Tiles own contiguous node-id ranges (ShardPlan), so ascending-tile
-  // replay reproduces the serial ascending-node event order exactly; 64-bit
-  // worklist words that straddle tile boundaries are updated through
-  // std::atomic_ref with commutative RMWs (fetch_or/fetch_and), whose final
-  // value is order-independent.
+  // Each tile emits at most one eject per node per cycle, in ascending
+  // node-id order (tiles walk their bitmap words lowest-first), so a k-way
+  // merge of the tile buffers by node id reproduces the serial
+  // ascending-node event order exactly — for contiguous row strips this
+  // degenerates to plain ascending-tile concatenation, and it stays exact
+  // for non-contiguous 2D tiles. 64-bit worklist words that straddle tile
+  // boundaries are updated through std::atomic_ref with commutative RMWs
+  // (fetch_or/fetch_and), whose final value is order-independent.
 
   /// Enable (plan != nullptr) or disable sharded stepping. Must be called
   /// before any cycle runs; incompatible with an attached trace sink.
@@ -148,8 +179,10 @@ class Fabric {
                      "flit tracing is incompatible with sharded stepping");
     plan_ = plan;
     shard_tiles_.clear();
+    eject_cursor_.clear();
     if (plan != nullptr) {
       shard_tiles_.resize(static_cast<std::size_t>(plan->tiles()));
+      eject_cursor_.resize(static_cast<std::size_t>(plan->tiles()), 0);
     }
   }
   [[nodiscard]] const ShardPlan* shard_plan() const { return plan_; }
@@ -163,9 +196,11 @@ class Fabric {
   virtual void shard_exchange(Cycle now, int tile) = 0;
 
   /// Serial epilogue: fold per-tile counters into stats_ and replay the
-  /// buffered ejections in ascending tile order — node ranges are
-  /// contiguous per tile, so this is the serial ascending-node eject order,
-  /// and the Welford accumulators see the exact same add sequence.
+  /// buffered ejections merged across tiles by node id. Each tile records
+  /// at most one eject per node per cycle in ascending node order, so the
+  /// merge is the serial ascending-node eject order and the Welford
+  /// accumulators see the exact same add sequence — whether tiles are
+  /// contiguous row strips or 2D rectangles.
   virtual void shard_finish(Cycle now) {
     ++stats_.cycles;
     for (ShardTile& ts : shard_tiles_) {
@@ -175,13 +210,30 @@ class Fabric {
       stats_.productive_hops += ts.productive_hops;
       stats_.buffer_reads += ts.buffer_reads;
       stats_.buffer_writes += ts.buffer_writes;
-      for (ShardEject& e : ts.ejects) {
-        eject_stats(now, e.flit);  // sink_ already ran on the tile thread
-      }
+      stats_.halo_writes += ts.halo_writes;
+      stats_.halo_bytes += ts.halo_bytes;
       in_network_ = static_cast<std::uint64_t>(static_cast<std::int64_t>(in_network_) +
                                                ts.net_delta);
-      ts.reset();
     }
+    const std::size_t tiles = shard_tiles_.size();
+    for (std::size_t t = 0; t < tiles; ++t) eject_cursor_[t] = 0;
+    for (;;) {
+      std::size_t best = tiles;
+      NodeId best_at = 0;
+      for (std::size_t t = 0; t < tiles; ++t) {
+        const ShardTile& ts = shard_tiles_[t];
+        if (eject_cursor_[t] >= ts.ejects.size()) continue;
+        const NodeId at = ts.ejects[eject_cursor_[t]].at;
+        if (best == tiles || at < best_at) {
+          best = t;
+          best_at = at;
+        }
+      }
+      if (best == tiles) break;
+      eject_stats(now, shard_tiles_[best].ejects[eject_cursor_[best]].flit);
+      ++eject_cursor_[best];  // sink_ already ran on the tile thread
+    }
+    for (ShardTile& ts : shard_tiles_) ts.reset();
   }
 
   virtual void begin_cycle(Cycle now) = 0;
@@ -243,6 +295,17 @@ class Fabric {
   /// Largest node count whose route/distance tables are precomputed (16x16).
   static constexpr NodeId kRouteTableMaxNodes = 256;
 
+  /// Concrete topology recognized for the analytic routing fast path.
+  enum class TopoKind : std::uint8_t { Generic, Mesh, Torus };
+
+  /// Signed shortest offset from `a` to `b` on a ring of size `n`, in
+  /// (-n/2, n/2]; must mirror the helper in topology.cpp exactly.
+  [[nodiscard]] static constexpr int ring_offset(int a, int b, int n) {
+    int fwd = (b - a + n) % n;
+    if (fwd * 2 > n) fwd -= n;
+    return fwd;
+  }
+
   struct InjectSlot {
     Flit flit;
     bool requested = false;
@@ -252,8 +315,9 @@ class Fabric {
     return (static_cast<std::size_t>(nodes) + 63) / 64;
   }
 
-  /// Table-accelerated Topology::route_preference (virtual fallback above
-  /// kRouteTableMaxNodes). Hot: once per flit per hop.
+  /// Table-accelerated Topology::route_preference, with an analytic inline
+  /// path for mesh/torus above kRouteTableMaxNodes (virtual fallback only
+  /// for unrecognized topologies). Hot: once per flit per hop.
   [[nodiscard]] RoutePreference route_pref(NodeId from, NodeId to) const {
     if (!route_tab_.empty()) {
       const std::uint8_t p =
@@ -265,14 +329,46 @@ class Fabric {
       r.dirs[1] = static_cast<Dir>((p >> 5) & 7);
       return r;
     }
+    if (analytic_ != TopoKind::Generic) {
+      const int fx = coord_x_[static_cast<std::size_t>(from)];
+      const int fy = coord_y_[static_cast<std::size_t>(from)];
+      const int tx = coord_x_[static_cast<std::size_t>(to)];
+      const int ty = coord_y_[static_cast<std::size_t>(to)];
+      RoutePreference pref;
+      if (analytic_ == TopoKind::Mesh) {
+        // Mirrors Mesh::route_preference: x offset first, then y.
+        if (fx != tx) pref.dirs[pref.count++] = (tx > fx) ? Dir::East : Dir::West;
+        if (fy != ty) pref.dirs[pref.count++] = (ty > fy) ? Dir::South : Dir::North;
+      } else {
+        // Mirrors Torus::route_preference: shorter way around each ring,
+        // ties toward the positive direction.
+        const int dx = ring_offset(fx, tx, topo_.width());
+        const int dy = ring_offset(fy, ty, topo_.height());
+        if (dx != 0) pref.dirs[pref.count++] = (dx > 0) ? Dir::East : Dir::West;
+        if (dy != 0) pref.dirs[pref.count++] = (dy > 0) ? Dir::South : Dir::North;
+      }
+      return pref;
+    }
     return topo_.route_preference(from, to);
   }
 
-  /// Table-accelerated Topology::distance; hot: once per delivered flit.
+  /// Table-accelerated Topology::distance, analytic for mesh/torus above
+  /// the table cap; hot: once per delivered flit.
   [[nodiscard]] int hop_distance(NodeId a, NodeId b) const {
     if (!dist_tab_.empty()) {
       return dist_tab_[static_cast<std::size_t>(a) * static_cast<std::size_t>(topo_.num_nodes()) +
                        static_cast<std::size_t>(b)];
+    }
+    if (analytic_ != TopoKind::Generic) {
+      const int ax = coord_x_[static_cast<std::size_t>(a)];
+      const int ay = coord_y_[static_cast<std::size_t>(a)];
+      const int bx = coord_x_[static_cast<std::size_t>(b)];
+      const int by = coord_y_[static_cast<std::size_t>(b)];
+      if (analytic_ == TopoKind::Mesh) {
+        return std::abs(ax - bx) + std::abs(ay - by);
+      }
+      return std::abs(ring_offset(ax, bx, topo_.width())) +
+             std::abs(ring_offset(ay, by, topo_.height()));
     }
     return topo_.distance(a, b);
   }
@@ -312,12 +408,15 @@ class Fabric {
     std::uint64_t productive_hops = 0;
     std::uint64_t buffer_reads = 0;
     std::uint64_t buffer_writes = 0;
+    std::uint64_t halo_writes = 0;
+    std::uint64_t halo_bytes = 0;
     std::int64_t net_delta = 0;  ///< in_network_ delta (injected - ejected)
     std::vector<ShardEject> ejects;
 
     void reset() {
       flits_injected = flit_hops = deflections = 0;
       productive_hops = buffer_reads = buffer_writes = 0;
+      halo_writes = halo_bytes = 0;
       net_delta = 0;
       ejects.clear();
     }
@@ -348,6 +447,9 @@ class Fabric {
   std::vector<std::uint64_t> inject_words_ NOCSIM_TILE_LOCAL;
   std::vector<std::uint8_t> route_tab_ NOCSIM_SHARED_READONLY;   ///< packed RoutePreference
   std::vector<std::uint16_t> dist_tab_ NOCSIM_SHARED_READONLY;   ///< hop distances, or empty
+  TopoKind analytic_ NOCSIM_SHARED_READONLY = TopoKind::Generic;
+  std::vector<std::int16_t> coord_x_ NOCSIM_SHARED_READONLY;  ///< analytic coord lanes
+  std::vector<std::int16_t> coord_y_ NOCSIM_SHARED_READONLY;
   FabricStats stats_ NOCSIM_SHARED_READONLY;
   EjectSink sink_ NOCSIM_SHARED_READONLY;
   FlitEventSink* trace_ NOCSIM_SHARED_READONLY = nullptr;  ///< null = tracing off
@@ -356,6 +458,7 @@ class Fabric {
   std::vector<std::uint8_t> marking_ NOCSIM_SHARED_READONLY;  ///< empty unless distributed CC
   const ShardPlan* plan_ NOCSIM_SHARED_READONLY = nullptr;    ///< null = serial stepping
   std::vector<ShardTile> shard_tiles_ NOCSIM_TILE_LOCAL;  ///< one per tile when sharded
+  std::vector<std::size_t> eject_cursor_ NOCSIM_SHARED_READONLY;  ///< shard_finish merge scratch
 };
 
 }  // namespace nocsim

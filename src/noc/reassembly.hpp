@@ -11,7 +11,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "common/check.hpp"
 #include "noc/flit.hpp"
@@ -25,27 +25,35 @@ class ReassemblyTable {
   /// latest arrival cycle.
   using PacketSink = std::function<void(const Flit& header, Cycle completed_at)>;
 
-  explicit ReassemblyTable(PacketSink sink) : sink_(std::move(sink)) {}
+  explicit ReassemblyTable(PacketSink sink) : sink_(std::move(sink)) {
+    pending_.reserve(16);
+  }
 
   void on_flit(const Flit& f, Cycle now) {
     if (f.packet_len <= 1) {
       sink_(f, now);
       return;
     }
-    const Key key{f.src, f.packet};
-    auto [it, inserted] = pending_.try_emplace(key, Entry{});
-    Entry& e = it->second;
-    if (inserted) {
-      e.header = f;
+    // Flat unordered table with linear lookup: a node's pending packets are
+    // bounded by its outstanding requests (MSHR bound, ~16), far below any
+    // node-based container's break-even. Only keyed ops are used, so entry
+    // order is unobservable and swap-erase is safe.
+    std::size_t idx = 0;
+    for (; idx < pending_.size(); ++idx)
+      if (pending_[idx].header.src == f.src && pending_[idx].header.packet == f.packet) break;
+    if (idx == pending_.size()) {
+      pending_.push_back(Entry{f, 0, false});
       high_water_ = std::max<std::size_t>(high_water_, pending_.size());
     }
+    Entry& e = pending_[idx];
     NOCSIM_DCHECK(e.arrived < f.packet_len);
     ++e.arrived;
     e.congested |= f.congested_bit;
     if (e.arrived == f.packet_len) {
       Flit header = e.header;
       header.congested_bit = e.congested;
-      pending_.erase(it);
+      pending_[idx] = pending_.back();
+      pending_.pop_back();
       sink_(header, now);
     }
   }
@@ -54,21 +62,13 @@ class ReassemblyTable {
   [[nodiscard]] std::size_t high_water_mark() const { return high_water_; }
 
  private:
-  struct Key {
-    NodeId src;
-    PacketSeq seq;
-    friend auto operator<=>(const Key&, const Key&) = default;
-  };
   struct Entry {
-    Flit header;
+    Flit header;  ///< first-arriving flit; carries the (src, packet) key
     std::uint16_t arrived = 0;
     bool congested = false;
   };
 
-  // Ordered map: traversal order is (src, seq), never hash/allocation
-  // dependent, so any future iteration over pending packets (draining,
-  // timeout scans, debugging dumps) stays deterministic by construction.
-  std::map<Key, Entry> pending_;
+  std::vector<Entry> pending_;
   std::size_t high_water_ = 0;
   PacketSink sink_;
 };

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/shard.hpp"
 #include "common/types.hpp"
 #include "core/controller.hpp"
 #include "core/distributed.hpp"
@@ -77,6 +78,16 @@ struct SimConfig {
   /// reductions are buffered per tile and replayed in ascending tile order).
   /// CcMode::Distributed forces the serial path (per-cycle coordinator).
   int shards = 1;
+  /// 2D tiling alternative to `shards`: cols x rows rectangular tiles.
+  /// Rectangle perimeters cross fewer links than full-width strip seams, so
+  /// halo traffic per tile drops from O(side) to O(side/sqrt(tiles)). Same
+  /// byte-identity guarantee as row strips. Mutually exclusive with
+  /// shards > 1; inactive (0x0) by default.
+  ShardDims shard_dims;
+  /// Emit fabric.halo_writes / fabric.halo_bytes telemetry columns. Off by
+  /// default: telemetry CSVs are byte-identical between serial and sharded
+  /// runs of one config, and these columns are structurally zero serially.
+  bool telemetry_halo = false;
   /// Functional L1 warm-up per core before cycle 0 (no timing): removes the
   /// compulsory-miss transient from the measurement.
   std::uint64_t prewarm_instructions = 60'000;

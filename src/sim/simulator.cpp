@@ -96,23 +96,37 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
   }
 
   ni_work_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+  core_work_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+  core_synced_.assign(static_cast<std::size_t>(n), 0);
+  for (NodeId i = 0; i < n; ++i) {
+    if (cores_[i]) {
+      core_work_[static_cast<std::size_t>(i) >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+  }
   l2_wheel_.resize(config_.l2_latency + 1);
   telemetry_.resize(n);
   staged_rates_.assign(n, 0.0);
   epoch_ipf_.resize(n);
 
   NOCSIM_CHECK_MSG(config_.shards >= 1, "shards must be >= 1");
+  NOCSIM_CHECK_MSG(!(config_.shard_dims.active() && config_.shards > 1),
+                   "set shards or shard_dims, not both");
   // Distributed CC pulls a coordinator rate into every NI every cycle and
   // scans all nodes; it stays on the serial path.
-  if (config_.shards > 1 && !distributed_) {
-    plan_.emplace(config_.width, config_.height, config_.shards);
+  if ((config_.shards > 1 || config_.shard_dims.active()) && !distributed_) {
+    if (config_.shard_dims.active()) {
+      plan_.emplace(config_.width, config_.height, config_.shard_dims);
+    } else {
+      plan_.emplace(config_.width, config_.height, config_.shards);
+    }
     if (plan_->tiles() > 1) {
       sharded_ = true;
       fabric_->set_shard_plan(&*plan_);
       tiles_.resize(static_cast<std::size_t>(plan_->tiles()));
+      l2_cursor_.resize(static_cast<std::size_t>(plan_->tiles()));
       team_ = std::make_unique<ShardTeam>(plan_->tiles());
     } else {
-      plan_.reset();  // single-row mesh: nothing to split
+      plan_.reset();  // one tile: nothing to split
     }
   }
 }
@@ -127,9 +141,13 @@ void Simulator::sync_ni(NodeId n, Cycle upto) {
   if (measuring_) {
     // The rate is constant across the gap (set_rate sites all sync first).
     // One add per cycle — k * r would round differently; the per-cycle sum
-    // must stay bit-exact with the eager path.
+    // must stay bit-exact with the eager path. Adding 0.0 is an exact no-op
+    // (the integral is never -0.0 or NaN), so the unthrottled common case
+    // skips the replay loop entirely.
     const double r = ni.throttler.rate();
-    for (Cycle c = 0; c < k; ++c) ni.rate_integral += r;
+    if (r != 0.0) {
+      for (Cycle c = 0; c < k; ++c) ni.rate_integral += r;
+    }
   }
   ni.synced_to = upto;
 }
@@ -144,6 +162,24 @@ void Simulator::wake_ni(NodeId n, Cycle upto) {
     std::atomic_ref<std::uint64_t>(ni_work_[w]).fetch_or(bit, std::memory_order_relaxed);
   } else {
     ni_work_[w] |= bit;
+  }
+}
+
+void Simulator::wake_core(NodeId n) {
+  NOCSIM_SHARD_CHECK_WRITE(n, "core wake (wake_core)");
+  const std::size_t w = static_cast<std::size_t>(n) >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (n & 63);
+  if (sharded_) {
+    // Only the owning tile fills (and thus wakes) a core, but the word can
+    // straddle a tile boundary: the commutative OR keeps neighbours exact.
+    std::atomic_ref<std::uint64_t> ref(core_work_[w]);
+    if ((ref.load(std::memory_order_relaxed) & bit) != 0) return;
+    cores_[n]->skip_blocked(now_ - core_synced_[n]);
+    ref.fetch_or(bit, std::memory_order_relaxed);
+  } else {
+    if ((core_work_[w] & bit) != 0) return;
+    cores_[n]->skip_blocked(now_ - core_synced_[n]);
+    core_work_[w] |= bit;
   }
 }
 
@@ -243,6 +279,7 @@ void Simulator::on_packet(NodeId at, const Flit& header) {
       break;
     case PacketKind::Response:
       NOCSIM_CHECK_MSG(cores_[at] != nullptr, "response delivered to an idle node");
+      wake_core(at);
       cores_[at]->on_fill(header.addr, now_);
       if (distributed_ && header.congested_bit) distributed_->on_marked_packet(at, now_);
       break;
@@ -265,6 +302,7 @@ void Simulator::deliver_l2(Cycle now) {
   auto& due = l2_wheel_[now % l2_wheel_.size()];
   for (const PendingL2& p : due) {
     if (p.home == p.requester) {
+      wake_core(p.requester);
       cores_[p.requester]->on_fill(p.block, now);
       continue;
     }
@@ -290,6 +328,7 @@ void Simulator::deliver_l2_shard(Cycle now, int tile) {
     if (!plan_->owns(tile, p.home)) continue;
     NOCSIM_SHARD_CHECK_WRITE(p.home, "l2 delivery (deliver_l2_shard)");
     if (p.home == p.requester) {
+      wake_core(p.requester);
       cores_[p.requester]->on_fill(p.block, now);
       continue;
     }
@@ -328,8 +367,11 @@ void Simulator::ni_inject(NodeId n) {
     return;
   }
   // Network-admission starvation: wants to inject but the router has no
-  // free slot — congestion proper, independent of the throttling gate.
-  ni.starvation_net.record(!fabric_->can_accept(n));
+  // free slot — congestion proper, independent of the throttling gate. The
+  // port scan is the expensive part of this function; nothing between here
+  // and the injection gate below changes its answer, so ask once.
+  const bool can_inject = fabric_->can_accept(n);
+  ni.starvation_net.record(!can_inject);
 
   // One local injection port. On the buffered fabric, packets must inject
   // atomically (the wormhole local port cannot interleave packets); under
@@ -345,7 +387,7 @@ void Simulator::ni_inject(NodeId n) {
   const bool gate_all = (config_.cc == CcMode::Static && config_.static_throttles_responses);
 
   bool injected = false;
-  if (fabric_->can_accept(n)) {
+  if (can_inject) {
     int pick = ni.mid_packet;  // 0 = free choice, 1 = response, 2 = request
     if (pick == 0) {
       if (gate_all) {
@@ -431,6 +473,30 @@ void Simulator::epoch_update() {
   wake_ni(ctrl, now_ + 1);
 }
 
+void Simulator::fold_l2(std::vector<PendingL2>& slot, bool by_home) {
+  const std::size_t tiles = tiles_.size();
+  for (std::size_t t = 0; t < tiles; ++t) l2_cursor_[t] = 0;
+  for (;;) {
+    std::size_t best = tiles;
+    NodeId best_key = 0;
+    for (std::size_t t = 0; t < tiles; ++t) {
+      const auto& buf = by_home ? tiles_[t].l2_route : tiles_[t].l2_core;
+      if (l2_cursor_[t] >= buf.size()) continue;
+      const PendingL2& p = buf[l2_cursor_[t]];
+      const NodeId key = by_home ? p.home : p.requester;
+      if (best == tiles || key < best_key) {
+        best = t;
+        best_key = key;
+      }
+    }
+    if (best == tiles) break;
+    const auto& buf = by_home ? tiles_[best].l2_route : tiles_[best].l2_core;
+    slot.push_back(buf[l2_cursor_[best]]);
+    ++l2_cursor_[best];
+  }
+  for (SimTile& t : tiles_) (by_home ? t.l2_route : t.l2_core).clear();
+}
+
 void Simulator::inject_tile(int tile) {
   // Tile-masked walk of the injection worklist, same snapshot-then-scan
   // shape as the serial loop. The load sees this thread's own wakes from
@@ -472,26 +538,38 @@ void Simulator::step_sharded() {
   });
   team_->run([this](int t) {
     NOCSIM_PHASE("core", &*plan_, t);
-    const ShardPlan::TileRange r = plan_->range(t);
-    for (NodeId i = r.lo; i < r.hi; ++i) {
-      if (cores_[i]) cores_[i]->step(now_);
+    // Tile-masked walk of the runnable-core worklist (see the serial loop).
+    // Sleep decisions clear only this tile's bits; boundary words are
+    // shared with neighbours, so the clear is an atomic RMW.
+    const std::size_t whi = plan_->word_hi(t);
+    for (std::size_t w = plan_->word_lo(t); w < whi; ++w) {
+      std::uint64_t bits =
+          std::atomic_ref<std::uint64_t>(core_work_[w]).load(std::memory_order_relaxed) &
+          plan_->word_mask(t, w);
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        const auto i = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+        Core& core = *cores_[i];
+        core.step(now_);
+        if (core.blocked()) {
+          std::atomic_ref<std::uint64_t>(core_work_[w])
+              .fetch_and(~(std::uint64_t{1} << (i & 63)), std::memory_order_relaxed);
+          core_synced_[static_cast<std::size_t>(i)] = now_ + 1;
+        }
+      }
     }
   });
   fabric_->shard_finish(now_);
 
   // Fold the buffered L2 pushes in serial program order: the route phase's
-  // ejected requests first (ascending tile == ascending ejection order),
-  // then the core phase's local-slice hits; clear the consumed due slot.
+  // ejected requests first (merged by home = ejection node), then the core
+  // phase's local-slice hits (merged by requester); clear the consumed due
+  // slot.
   l2_wheel_[now_ % l2_wheel_.size()].clear();
   auto& slot = l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()];
-  for (SimTile& t : tiles_) {
-    slot.insert(slot.end(), t.l2_route.begin(), t.l2_route.end());
-    t.l2_route.clear();
-  }
-  for (SimTile& t : tiles_) {
-    slot.insert(slot.end(), t.l2_core.begin(), t.l2_core.end());
-    t.l2_core.clear();
-  }
+  fold_l2(slot, /*by_home=*/true);
+  fold_l2(slot, /*by_home=*/false);
 
   if ((now_ + 1) % config_.cc_params.epoch == 0) epoch_update();
   if (hub_ != nullptr && (now_ + 1) % hub_period_ == 0) {
@@ -524,8 +602,21 @@ void Simulator::step() {
     }
   }
   fabric_->step(now_);
-  for (NodeId i = 0; i < n; ++i) {
-    if (cores_[i]) cores_[i]->step(now_);
+  // Only runnable cores; a core that ends the cycle blocked on the network
+  // sleeps until a fill wakes it (wake_core replays the skipped cycles).
+  for (std::size_t w = 0; w < core_work_.size(); ++w) {
+    std::uint64_t bits = core_work_[w];
+    while (bits != 0) {
+      const int b = std::countr_zero(bits);
+      bits &= bits - 1;
+      const auto i = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+      Core& core = *cores_[i];
+      core.step(now_);
+      if (core.blocked()) {
+        core_work_[w] &= ~(std::uint64_t{1} << (i & 63));
+        core_synced_[static_cast<std::size_t>(i)] = now_ + 1;
+      }
+    }
   }
   if ((now_ + 1) % config_.cc_params.epoch == 0) epoch_update();
   // Sample after epoch_update so an epoch-cadence row carries the values the
@@ -560,7 +651,16 @@ void Simulator::begin_measurement() {
   epoch_hops_at_last_ = 0;  // counters restarted with the stats
   epoch_min_hops_at_last_ = 0;
   for (NodeId i = 0; i < config_.num_nodes(); ++i) {
-    if (cores_[i]) cores_[i]->reset_stats();
+    if (cores_[i]) {
+      // A sleeping core's skipped window-full cycles are still uncredited;
+      // flush them so the reset wipes exactly what eager stepping had.
+      if ((core_work_[static_cast<std::size_t>(i) >> 6] &
+           (std::uint64_t{1} << (i & 63))) == 0) {
+        cores_[i]->skip_blocked(now_ - core_synced_[static_cast<std::size_t>(i)]);
+        core_synced_[static_cast<std::size_t>(i)] = now_;
+      }
+      cores_[i]->reset_stats();
+    }
     nis_[i].starvation.reset_lifetime();
     nis_[i].starvation_net.reset_lifetime();
     nis_[i].measure_flits = 0;
@@ -584,7 +684,15 @@ SimResult Simulator::run() {
 }
 
 SimResult Simulator::collect(Cycle measured_cycles) {
-  for (NodeId i = 0; i < config_.num_nodes(); ++i) sync_ni(i, now_);
+  for (NodeId i = 0; i < config_.num_nodes(); ++i) {
+    sync_ni(i, now_);
+    // Credit sleeping cores' skipped cycles so CoreStats are exact.
+    if (cores_[i] && (core_work_[static_cast<std::size_t>(i) >> 6] &
+                      (std::uint64_t{1} << (i & 63))) == 0) {
+      cores_[i]->skip_blocked(now_ - core_synced_[static_cast<std::size_t>(i)]);
+      core_synced_[static_cast<std::size_t>(i)] = now_;
+    }
+  }
   SimResult result;
   result.cycles = measured_cycles;
   result.fabric = fabric_->stats();
@@ -687,6 +795,12 @@ void Simulator::attach_telemetry(TelemetryHub* hub) {
                   });
   hub_->add_gauge("fabric.in_flight",
                   [this] { return static_cast<double>(fabric_->in_flight()); });
+  if (config_.telemetry_halo) {
+    // Opt-in: these columns would break the serial-vs-sharded CSV
+    // byte-identity of one config (structurally zero on the serial path).
+    hub_->add_counter("fabric.halo_writes", [this] { return fabric_->stats().halo_writes; });
+    hub_->add_counter("fabric.halo_bytes", [this] { return fabric_->stats().halo_bytes; });
+  }
 
   // Per-node columns.
   for (NodeId i = 0; i < config_.num_nodes(); ++i) {

@@ -126,6 +126,17 @@ class Simulator {
   void sync_ni(NodeId n, Cycle upto);
   /// sync_ni + put n back on the NI worklist (a queue became non-empty).
   void wake_ni(NodeId n, Cycle upto);
+  /// A fill is about to reach core n: if it was sleeping (blocked on the
+  /// network), credit the skipped window-full cycles and re-arm its
+  /// core_work_ bit so the core phase steps it again from this cycle on.
+  void wake_core(NodeId n);
+  /// Merge the per-tile PendingL2 buffers (l2_route when by_home, else
+  /// l2_core) into `slot` in serial push order and clear them. Entries
+  /// within a tile ascend strictly by the merge key (at most one ejection /
+  /// one core miss per node per cycle), and a node belongs to exactly one
+  /// tile, so the k-way merge by key reproduces the serial ascending-node
+  /// order for row strips and 2D tiles alike.
+  void fold_l2(std::vector<PendingL2>& slot, bool by_home);
   void on_miss(NodeId n, Addr block);
   void on_flit_ejected(NodeId at, const Flit& f);
   void on_packet(NodeId at, const Flit& header);
@@ -155,13 +166,24 @@ class Simulator {
   /// and cleared by ni_inject when a node's queues drain. Tile-local by
   /// word range; boundary words are shared and use commutative atomic RMWs.
   std::vector<std::uint64_t> ni_work_ NOCSIM_TILE_LOCAL;
+  /// Bitmap over cores that can make progress. A core whose window is full
+  /// with the head instruction waiting on the network (Core::blocked) is
+  /// put to sleep by the core phase: each skipped cycle is a pure
+  /// window-full count, replayed by wake_core when a fill arrives. Fills
+  /// always originate on the node's owning tile, so under sharding only the
+  /// owner RMWs a node's bit; boundary words are shared and use atomics.
+  std::vector<std::uint64_t> core_work_ NOCSIM_TILE_LOCAL;
+  /// Per sleeping core: first cycle whose skipped step() has not been
+  /// credited yet. Meaningful only while the core_work_ bit is clear.
+  std::vector<Cycle> core_synced_ NOCSIM_TILE_LOCAL;
   std::vector<std::vector<PendingL2>> l2_wheel_ NOCSIM_SHARED_READONLY;
 
   /// Per-tile scratch for the sharded cycle loop. Order-sensitive side
   /// effects produced on tile threads are buffered here and folded serially
-  /// in ascending tile order — which equals ascending node order, because
-  /// tiles are contiguous row strips — so the folded state is bit-identical
-  /// to what the serial loop would have produced.
+  /// — merged across tiles by node id (see fold_l2), which reproduces the
+  /// serial ascending-node order whether tiles are contiguous row strips or
+  /// 2D rectangles — so the folded state is bit-identical to what the
+  /// serial loop would have produced.
   struct SimTile {
     std::vector<PendingL2> l2_route;  ///< L2 pushes from the route phase (ejected requests)
     std::vector<PendingL2> l2_core;   ///< L2 pushes from the core phase (local-slice hits)
@@ -172,6 +194,7 @@ class Simulator {
   std::optional<ShardPlan> plan_ NOCSIM_SHARED_READONLY;
   std::unique_ptr<ShardTeam> team_ NOCSIM_SHARED_READONLY;
   std::vector<SimTile> tiles_ NOCSIM_TILE_LOCAL;
+  std::vector<std::size_t> l2_cursor_ NOCSIM_SHARED_READONLY;  ///< fold_l2 merge scratch
 
   std::vector<NodeTelemetry> telemetry_ NOCSIM_SHARED_READONLY;
   std::vector<double> staged_rates_ NOCSIM_SHARED_READONLY;

@@ -1,0 +1,46 @@
+// Lint fixture: must trigger [flit-payload-in-hot-path] three times (the
+// .addr read off the assembled latch, the ->hops read through a pointer,
+// and the .kind read). The hot header-field reads, the payload-lane access
+// (pay_[t].addr — the sanctioned single move), and the serial cold read
+// outside the phase are all clean — not compiled.
+struct ShardTeam {
+  template <class F>
+  void run(F&&) {}
+};
+
+struct Hdr {
+  unsigned dst;
+  unsigned inject_cycle;
+};
+struct Pay {
+  unsigned long long addr;
+  unsigned short hops;
+  int kind;
+};
+struct Whole {
+  unsigned dst;
+  unsigned long long addr;
+  unsigned short hops;
+  int kind;
+};
+
+struct Router {
+  ShardTeam team;
+  Hdr* hdr_ NOCSIM_TILE_LOCAL;
+  Pay* pay_ NOCSIM_TILE_LOCAL;
+  Whole* latch_ NOCSIM_TILE_LOCAL;
+  unsigned long long sink_ NOCSIM_TILE_LOCAL;
+
+  void cycle(const void* plan) {
+    team.run([&](int t) {
+      NOCSIM_PHASE("route", plan, t);
+      sink_ += hdr_[t].dst + hdr_[t].inject_cycle;     // hot header lane: clean
+      sink_ += latch_[t].addr;                         // cold field off an assembled flit
+      Whole* w = &latch_[t];
+      sink_ += w->hops;                                // cold field through a pointer
+      sink_ += static_cast<unsigned long long>(latch_[t].kind);  // cold enum field
+      sink_ += pay_[t].addr;                           // payload lane: the sanctioned move
+    });
+    sink_ += latch_[0].addr;  // serial code: cold reads are fine here
+  }
+};

@@ -201,6 +201,15 @@ TEST(Lint, LockInHotPathFilesTriggersInSerialCodeToo) {
   EXPECT_EQ(count_rule(run.output, "lock-in-hot-path"), 2) << run.output;
 }
 
+TEST(Lint, FlitPayloadReadInsidePhaseTriggers) {
+  const LintRun run = run_lint("trigger_flit_payload_hot_path.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // .addr + ->hops + .kind inside the phase; the header-lane reads, the
+  // payload-lane access, and the serial cold read must not count.
+  EXPECT_EQ(count_rule(run.output, "flit-payload-in-hot-path"), 3) << run.output;
+  EXPECT_NE(run.output.find("phase 'route'"), std::string::npos) << run.output;
+}
+
 TEST(Lint, CleanShardedFixturePasses) {
   const LintRun run = run_lint("clean_sharded.cpp");
   EXPECT_EQ(run.exit_code, 0) << run.output;
@@ -217,7 +226,7 @@ TEST(Lint, ListRulesIncludesTheShardRules) {
   const LintRun run = run_lint_cmd("--list-rules");
   EXPECT_EQ(run.exit_code, 0) << run.output;
   for (const char* rule : {"shard-unsafe-write", "unannotated-phase", "cross-tile-index",
-                           "alloc-in-phase", "lock-in-hot-path"}) {
+                           "alloc-in-phase", "lock-in-hot-path", "flit-payload-in-hot-path"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule << "\n" << run.output;
   }
 }

@@ -1,0 +1,204 @@
+// Tests for the cache-local memory-layout containers introduced with the
+// SoA flit split: the FlitRing NI queue (power-of-two ring over parallel
+// header/payload lanes) and the per-tile bump Arena that backs the fabric's
+// latch banks and halo outboxes.
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.hpp"
+#include "noc/flit.hpp"
+#include "noc/flit_ring.hpp"
+
+namespace nocsim {
+namespace {
+
+/// A flit whose every field is a distinct function of `i`, so a lossy
+/// header/payload split or a mis-indexed lane shows up as a field mismatch.
+Flit make_flit(std::uint32_t i) {
+  Flit f;
+  f.addr = 0x1000u + 64u * i;
+  f.src = static_cast<NodeId>(i % 61);
+  f.dst = static_cast<NodeId>((i * 7) % 53);
+  f.packet = i;
+  f.enqueue_cycle = 2 * i;
+  f.inject_cycle = 2 * i + 1;
+  f.hops = static_cast<std::uint16_t>(i % 17);
+  f.deflections = static_cast<std::uint16_t>(i % 5);
+  f.flit_idx = static_cast<std::uint8_t>(i % 4);
+  f.packet_len = static_cast<std::uint8_t>(1 + i % 4);
+  f.kind = static_cast<PacketKind>(i % 3);
+  f.vc_state = static_cast<std::uint8_t>(i % 4);
+  f.congested_bit = (i % 2) != 0;
+  return f;
+}
+
+void expect_same(const Flit& a, const Flit& b) {
+  EXPECT_EQ(a.addr, b.addr);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+  EXPECT_EQ(a.packet, b.packet);
+  EXPECT_EQ(a.enqueue_cycle, b.enqueue_cycle);
+  EXPECT_EQ(a.inject_cycle, b.inject_cycle);
+  EXPECT_EQ(a.hops, b.hops);
+  EXPECT_EQ(a.deflections, b.deflections);
+  EXPECT_EQ(a.flit_idx, b.flit_idx);
+  EXPECT_EQ(a.packet_len, b.packet_len);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_EQ(a.vc_state, b.vc_state);
+  EXPECT_EQ(a.congested_bit, b.congested_bit);
+}
+
+TEST(FlitRing, SplitAssembleRoundTripsEveryField) {
+  const Flit f = make_flit(123);
+  expect_same(f, assemble_flit(header_of(f), payload_of(f)));
+}
+
+TEST(FlitRing, FifoOrderAcrossGrowth) {
+  FlitRing q(4);
+  ASSERT_EQ(q.capacity(), 4u);
+  for (std::uint32_t i = 0; i < 100; ++i) q.push_back(make_flit(i));
+  EXPECT_GE(q.capacity(), 100u);
+  EXPECT_EQ(q.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    expect_same(q.front(), make_flit(i));
+    EXPECT_EQ(q.front_header().inject_cycle, 2 * i + 1);
+    q.pop_front();
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FlitRing, GrowWhileWrappedPreservesOrderAndPayloads) {
+  // Force the head past the start, then fill to capacity so grow() runs
+  // with the live region wrapping the end of the lanes.
+  FlitRing q(8);
+  std::uint32_t next = 0;
+  for (std::uint32_t i = 0; i < 6; ++i) q.push_back(make_flit(next++));
+  for (int i = 0; i < 5; ++i) q.pop_front();  // head_ now mid-ring
+  std::uint32_t front = 5;
+  while (q.size() < q.capacity()) q.push_back(make_flit(next++));
+  const std::size_t cap_before = q.capacity();
+  q.push_back(make_flit(next++));  // triggers grow() on a wrapped ring
+  EXPECT_EQ(q.capacity(), 2 * cap_before);
+  while (!q.empty()) {
+    expect_same(q.front(), make_flit(front++));
+    q.pop_front();
+  }
+  EXPECT_EQ(front, next);
+}
+
+TEST(FlitRing, MatchesDequeUnderMixedPushPopTraffic) {
+  // Deterministic LCG traffic: interleave pushes and pops so head/tail wrap
+  // many times and capacity doubles twice, checking against std::deque.
+  FlitRing q(2);
+  std::deque<Flit> ref;
+  std::uint64_t lcg = 12345;
+  std::uint32_t next = 0;
+  for (int step = 0; step < 2000; ++step) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const bool push = ref.empty() || (lcg >> 33) % 3 != 0;  // pushes twice as likely
+    if (push) {
+      q.push_back(make_flit(next));
+      ref.push_back(make_flit(next));
+      ++next;
+    } else {
+      expect_same(q.front(), ref.front());
+      q.pop_front();
+      ref.pop_front();
+    }
+    ASSERT_EQ(q.size(), ref.size());
+    ASSERT_TRUE((q.capacity() & (q.capacity() - 1)) == 0) << "capacity must stay a power of two";
+  }
+  while (!ref.empty()) {
+    expect_same(q.front(), ref.front());
+    q.pop_front();
+    ref.pop_front();
+  }
+}
+
+TEST(FlitRing, MinCapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(FlitRing(1).capacity(), 1u);
+  EXPECT_EQ(FlitRing(3).capacity(), 4u);
+  EXPECT_EQ(FlitRing(16).capacity(), 16u);
+  EXPECT_EQ(FlitRing(17).capacity(), 32u);
+}
+
+TEST(Arena, LanesAreCachelineAlignedAndValueInitialized) {
+  Arena a(4096);
+  EXPECT_EQ(a.capacity() % Arena::kLineBytes, 0u);
+  auto* bytes = a.alloc_array<std::uint8_t>(10);  // odd size: next lane must re-align
+  auto* words = a.alloc_array<std::uint64_t>(7);
+  auto* headers = a.alloc_array<FlitHeader>(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(bytes) % Arena::kLineBytes, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(words) % Arena::kLineBytes, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(headers) % Arena::kLineBytes, 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(bytes[i], 0);
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(words[i], 0u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(headers[i].src, kInvalidNode);
+}
+
+TEST(Arena, LaneBytesMatchesActualConsumption) {
+  // lane_bytes is the layout-sizing helper: from an aligned cursor, the next
+  // same-type lane must start exactly lane_bytes later (padding included).
+  Arena a(1 << 16);
+  auto* first = a.alloc_array<FlitHeader>(129);
+  auto* second = a.alloc_array<FlitHeader>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(second) - reinterpret_cast<std::uintptr_t>(first),
+            Arena::lane_bytes<FlitHeader>(129));
+}
+
+TEST(Arena, ResetRewindsAndReinitializes) {
+  Arena a(1024);
+  auto* lane1 = a.alloc_array<std::uint32_t>(16);
+  for (int i = 0; i < 16; ++i) lane1[i] = 0xdeadbeef;
+  const std::size_t used = a.used();
+  a.reset();
+  EXPECT_EQ(a.used(), 0u);
+  auto* lane2 = a.alloc_array<std::uint32_t>(16);
+  EXPECT_EQ(lane2, lane1) << "reset must rewind to the same block";
+  EXPECT_EQ(a.used(), used);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(lane2[i], 0u) << "alloc_array must value-initialize over stale contents";
+}
+
+TEST(Arena, TilesNeverShareACacheline) {
+  // Per-tile isolation: each tile's arena is an independently aligned block,
+  // so lanes from different tiles can never land on one cacheline — the
+  // property that makes the sharded cycle loop free of false sharing.
+  std::vector<Arena> tiles;
+  for (int t = 0; t < 4; ++t) tiles.emplace_back(512);
+  std::vector<std::uintptr_t> lines;
+  for (Arena& t : tiles) {
+    auto* lane = t.alloc_array<std::uint8_t>(512);
+    lines.push_back(reinterpret_cast<std::uintptr_t>(lane) / Arena::kLineBytes);
+    lines.push_back(reinterpret_cast<std::uintptr_t>(lane + 511) / Arena::kLineBytes);
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      if (i / 2 != j / 2) {
+        EXPECT_NE(lines[i], lines[j]);
+      }
+    }
+  }
+}
+
+TEST(Arena, ReserveRoundsUpAndMoveTransfersOwnership) {
+  Arena a(100);
+  EXPECT_EQ(a.capacity(), 128u);  // two cachelines
+  auto* lane = a.alloc_array<std::uint8_t>(100);
+  lane[0] = 42;
+  Arena b = std::move(a);
+  EXPECT_EQ(b.capacity(), 128u);
+  EXPECT_EQ(lane[0], 42) << "moved arena must keep the block alive";
+}
+
+TEST(ArenaDeath, OverflowIsAProgrammingError) {
+  Arena a(64);
+  EXPECT_DEATH((void)a.alloc_array<std::uint64_t>(9), "arena overflow");
+}
+
+}  // namespace
+}  // namespace nocsim

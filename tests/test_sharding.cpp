@@ -30,6 +30,10 @@ using testutil::serialize_result;
 // boundary words are shared between tiles mid-word.
 const int kShardCounts[] = {2, 4, 7};
 
+// 2D tilings exercised the same way. 2x2 makes every tile a multi-span
+// rectangle; 2x1 splits along columns only, so every span is a half-row.
+const ShardDims kShardDims[] = {ShardDims{2, 2}, ShardDims{2, 1}};
+
 TEST(ShardPlan, RowStripsAreContiguousAndCoverEveryNode) {
   for (const auto& [w, h, s] : {std::tuple{8, 8, 4}, {4, 4, 7}, {32, 32, 7}, {5, 3, 2}}) {
     const ShardPlan plan(w, h, s);
@@ -58,6 +62,47 @@ TEST(ShardPlan, CapsTileCountAtRowCount) {
   EXPECT_EQ(plan.tiles(), 4);
   // A single-row mesh cannot be split at all.
   EXPECT_EQ(ShardPlan(16, 1, 8).tiles(), 1);
+}
+
+TEST(ShardPlan, TwoDTilesPartitionTheMeshIntoRectangles) {
+  for (const auto& [w, h, cols, rows] :
+       {std::tuple{8, 8, 2, 2}, {4, 4, 2, 1}, {32, 32, 3, 2}, {5, 3, 2, 2}}) {
+    const ShardPlan plan(w, h, ShardDims{cols, rows});
+    ASSERT_EQ(plan.tiles(), std::min(cols, w) * std::min(rows, h));
+    // Every node owned exactly once; local indices dense and ascending.
+    std::vector<int> owner(static_cast<std::size_t>(w * h), -1);
+    for (int t = 0; t < plan.tiles(); ++t) {
+      std::uint32_t expect_local = 0;
+      int prev = -1;
+      for (const ShardPlan::TileRange& r : plan.spans(t)) {
+        ASSERT_LT(r.lo, r.hi) << "empty span";
+        ASSERT_GT(r.lo, prev) << "spans not ascending";
+        prev = r.hi - 1;
+        for (int n = r.lo; n < r.hi; ++n) {
+          ASSERT_EQ(owner[static_cast<std::size_t>(n)], -1) << "node " << n << " owned twice";
+          owner[static_cast<std::size_t>(n)] = t;
+          ASSERT_EQ(plan.tile_of(n), t);
+          ASSERT_TRUE(plan.owns(t, n));
+          ASSERT_EQ(plan.local_of(n), expect_local++);
+          ASSERT_TRUE(plan.word_mask(t, static_cast<std::size_t>(n) / 64) &
+                      (1ULL << (static_cast<std::size_t>(n) % 64)));
+        }
+      }
+      ASSERT_EQ(plan.tile_nodes(t), static_cast<int>(expect_local));
+      // Each tile is a rectangle: all spans equally wide, one per mesh row.
+      const int span_w = plan.spans(t).front().hi - plan.spans(t).front().lo;
+      for (const ShardPlan::TileRange& r : plan.spans(t)) {
+        ASSERT_EQ(r.hi - r.lo, span_w);
+        ASSERT_EQ(r.lo / w, (r.hi - 1) / w) << "span crosses a mesh row";
+      }
+    }
+    for (const int t : owner) ASSERT_NE(t, -1) << "tiles do not cover the mesh";
+  }
+}
+
+TEST(ShardPlan, TwoDDimsAreCappedAtTheMeshExtent) {
+  EXPECT_EQ(ShardPlan(4, 4, ShardDims{8, 8}).tiles(), 16);
+  EXPECT_EQ(ShardPlan(2, 3, ShardDims{4, 1}).tiles(), 2);
 }
 
 // Scenario matrix. These deliberately mirror (and extend) the golden-diff
@@ -129,6 +174,14 @@ TEST_P(ShardedByteIdentity, SerializedResultMatchesSerialForEveryShardCount) {
     const std::string got = serialize_result(run_workload(c, wl));
     ASSERT_EQ(got, golden) << name << " diverges from serial at --shards " << shards;
   }
+  for (const ShardDims dims : kShardDims) {
+    WorkloadSpec wl;
+    SimConfig c = scenario_config(name, wl);
+    c.shard_dims = dims;
+    const std::string got = serialize_result(run_workload(c, wl));
+    ASSERT_EQ(got, golden) << name << " diverges from serial at --shard-dims " << dims.cols
+                           << "x" << dims.rows;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Scenarios, ShardedByteIdentity,
@@ -144,10 +197,11 @@ INSTANTIATE_TEST_SUITE_P(Scenarios, ShardedByteIdentity,
 // live NI and fabric state, so any drift in *when* state changes shows up
 // here even if the end-of-run aggregates happen to agree.
 TEST(ShardedTimeseries, CsvIsByteIdenticalToSerial) {
-  const auto run_csv = [](int shards) {
+  const auto run_csv = [](int shards, ShardDims dims) {
     WorkloadSpec wl;
     SimConfig c = scenario_config("central_cc_8x8", wl);
     c.shards = shards;
+    c.shard_dims = dims;
     Simulator sim(c, wl);
     TelemetryHub hub;  // adopts the controller epoch as its cadence
     sim.attach_telemetry(&hub);
@@ -156,11 +210,40 @@ TEST(ShardedTimeseries, CsvIsByteIdenticalToSerial) {
     hub.write_csv(out);
     return out.str();
   };
-  const std::string serial = run_csv(1);
+  const std::string serial = run_csv(1, ShardDims{});
   ASSERT_NE(serial.find('\n'), std::string::npos);
   for (const int shards : kShardCounts) {
-    ASSERT_EQ(run_csv(shards), serial) << "timeseries diverges at --shards " << shards;
+    ASSERT_EQ(run_csv(shards, ShardDims{}), serial)
+        << "timeseries diverges at --shards " << shards;
   }
+  for (const ShardDims dims : kShardDims) {
+    ASSERT_EQ(run_csv(1, dims), serial)
+        << "timeseries diverges at --shard-dims " << dims.cols << "x" << dims.rows;
+  }
+}
+
+// Halo counters: serial runs never stage a cross-tile write, so both
+// counters are structurally zero; sharded runs of a loaded mesh must record
+// traffic; and on a wide mesh a 2x2 tiling crosses fewer links than four
+// row strips, so its halo write count must be strictly smaller.
+TEST(ShardHaloCounters, SerialIsZeroAndTwoDBeatsRowStrips) {
+  const auto halo_writes = [](int shards, ShardDims dims, std::uint64_t* bytes = nullptr) {
+    WorkloadSpec wl;
+    SimConfig c = scenario_config("central_cc_8x8", wl);
+    c.shards = shards;
+    c.shard_dims = dims;
+    const SimResult r = run_workload(c, wl);
+    if (bytes != nullptr) *bytes = r.fabric.halo_bytes;
+    return r.fabric.halo_writes;
+  };
+  std::uint64_t serial_bytes = ~std::uint64_t{0};
+  EXPECT_EQ(halo_writes(1, ShardDims{}, &serial_bytes), 0u);
+  EXPECT_EQ(serial_bytes, 0u);
+  const std::uint64_t strips = halo_writes(4, ShardDims{});
+  const std::uint64_t grid = halo_writes(1, ShardDims{2, 2});
+  EXPECT_GT(strips, 0u);
+  EXPECT_GT(grid, 0u);
+  EXPECT_LT(grid, strips) << "2x2 tiling should cross fewer links than 4 row strips";
 }
 
 // Two sharded runs of the same config must agree with each other — thread

@@ -53,6 +53,11 @@
 //   lock-in-hot-path  blocking synchronization (mutex/lock_guard/...) in
 //                     per-cycle code or a phase body: the sharded loop
 //                     synchronizes via spin barriers and halo outboxes only
+//   flit-payload-in-hot-path  cold FlitPayload field (addr/enqueue_cycle/
+//                     hops/deflections/packet_len/kind) read inside a
+//                     NOCSIM_PHASE body: arbitration must stream the hot
+//                     header lane; the cold lane moves once, through a
+//                     payload-lane access, when a flit actually moves
 //   bad-directive     malformed nocsim-lint control comment or annotation
 //
 // Suppression: a finding is silenced only by an inline directive
@@ -80,7 +85,7 @@ const std::set<std::string>& known_rules() {
       "wallclock",      "pointer-sort",     "narrow-cast",
       "mutable-global", "iostream-in-hot-path", "bad-directive",
       "shard-unsafe-write", "unannotated-phase", "cross-tile-index",
-      "alloc-in-phase", "lock-in-hot-path",
+      "alloc-in-phase", "lock-in-hot-path", "flit-payload-in-hot-path",
   };
   return rules;
 }
@@ -325,6 +330,21 @@ std::size_t match_template_args(const std::string& code, std::size_t pos) {
       if (depth == 0) return i + 1;
     }
     if (code[i] == ';') return std::string::npos;  // statement ended, not a template
+  }
+  return std::string::npos;
+}
+
+// Matches a bracket pair ending at `pos` (which must point at `close`);
+// returns the offset of the matching `open`, or npos.
+std::size_t match_delim_backward(const std::string& code, std::size_t pos, char open,
+                                 char close) {
+  int depth = 0;
+  for (std::size_t i = pos + 1; i-- > 0;) {
+    if (code[i] == close) ++depth;
+    if (code[i] == open) {
+      --depth;
+      if (depth == 0) return i;
+    }
   }
   return std::string::npos;
 }
@@ -1240,6 +1260,82 @@ void check_alloc_in_phase(const RuleContext& ctx) {
   }
 }
 
+// flit-payload-in-hot-path: a cold FlitPayload field read inside a
+// NOCSIM_PHASE body. The hot/cold flit split (src/noc/flit.hpp) exists so
+// the per-cycle arbitration loops stream compact FlitHeader lanes; touching
+// addr/enqueue_cycle/hops/deflections/packet_len/kind there drags the cold
+// lane back into the loop's working set. The sanctioned pattern is reading
+// through a payload lane (an identifier containing "pay"), which is how the
+// single per-move payload copy is written — anything else either belongs at
+// injection/ejection or needs an allow() with a reason.
+void check_flit_payload_in_phase(const RuleContext& ctx) {
+  const std::string& code = ctx.s.code;
+  static const char* cold_fields[] = {"addr",        "enqueue_cycle", "hops",
+                                      "deflections", "packet_len",    "kind"};
+  for (const PhaseRegion& region : *ctx.regions) {
+    for (const char* f : cold_fields) {
+      const std::string field = f;
+      for (std::size_t pos = code.find(field, region.begin);
+           pos != std::string::npos && pos < region.end; pos = code.find(field, pos + 1)) {
+        if (!word_at(code, pos, field)) continue;
+        // Member access only: `.field` or `->field`.
+        const std::size_t prev = prev_nonspace(code, pos);
+        if (prev == std::string::npos) continue;
+        std::size_t chain_end;
+        if (code[prev] == '.') {
+          chain_end = prev;
+        } else if (code[prev] == '>' && prev > 0 && code[prev - 1] == '-') {
+          chain_end = prev - 1;
+        } else {
+          continue;
+        }
+        // `x.kind(...)` is a method call, not the cold field.
+        const std::size_t after = skip_ws(code, pos + field.size());
+        if (after < code.size() && code[after] == '(') continue;
+        // Walk the postfix chain backwards (`pay_[slot].addr`, `w->hops`):
+        // any link through a payload lane is the sanctioned single move.
+        bool through_payload = false;
+        std::size_t p = chain_end;
+        for (;;) {
+          const std::size_t q = prev_nonspace(code, p);
+          if (q == std::string::npos) break;
+          if (code[q] == ']') {
+            const std::size_t open = match_delim_backward(code, q, '[', ']');
+            if (open == std::string::npos) break;
+            p = open;
+            continue;
+          }
+          if (!is_ident(code[q])) break;
+          std::size_t b = q;
+          while (b > 0 && is_ident(code[b - 1])) --b;
+          const std::string link = code.substr(b, q - b + 1);
+          if (link.find("pay") != std::string::npos) {
+            through_payload = true;
+            break;
+          }
+          const std::size_t before = prev_nonspace(code, b);
+          if (before != std::string::npos && code[before] == '.') {
+            p = before;
+            continue;
+          }
+          if (before != std::string::npos && code[before] == '>' && before > 0 &&
+              code[before - 1] == '-') {
+            p = before - 1;
+            continue;
+          }
+          break;
+        }
+        if (through_payload) continue;
+        ctx.add(pos, "flit-payload-in-hot-path",
+                "cold payload field '." + field + "' read inside phase '" + region.name +
+                    "': per-cycle arbitration streams FlitHeader lanes only; move the "
+                    "access to injection/ejection, or read it through the payload lane "
+                    "at the single point where the flit moves");
+      }
+    }
+  }
+}
+
 // lock-in-hot-path: blocking synchronization in per-cycle code (hot-path
 // files) or inside any phase body. The sharded loop's only sanctioned
 // synchronization is the spin barrier between phases and halo outboxes;
@@ -1330,6 +1426,7 @@ void analyze_file(FileData& fd, const SymbolTable& syms) {
   check_cross_tile_index(ctx);
   check_alloc_in_phase(ctx);
   check_lock_in_hot_path(ctx);
+  check_flit_payload_in_phase(ctx);
 }
 
 // Apply suppressions: an allow covers its own line and the next line.
