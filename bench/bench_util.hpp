@@ -56,11 +56,17 @@ class SweepContext {
     options.trace_flits = parse_trace_every(flags.get_string(
         "trace-flits", "0",
         "trace 1-in-N packets to <stem>.run<i>.trace.json (bare flag: every packet)"));
-    if (timeseries || options.trace_flits > 0) {
+    options.profile = flags.get_bool(
+        "profile", false, "write per-run phase profiles to <stem>.run<i>.profile.json");
+    options.events = flags.get_bool(
+        "events", false, "write per-run provenance events to <stem>.run<i>.events.csv");
+    if (timeseries || options.trace_flits > 0 || options.profile || options.events) {
       if (stem_.empty()) {
-        std::cerr << "nocsim: --timeseries/--trace-flits need a --run-log stem; "
-                     "telemetry disabled\n";
+        std::cerr << "nocsim: --timeseries/--trace-flits/--profile/--events need a "
+                     "--run-log stem; telemetry disabled\n";
         options.trace_flits = 0;
+        options.profile = false;
+        options.events = false;
       } else {
         options.telemetry_stem = stem_;
       }

@@ -22,6 +22,8 @@
 
 #include "common/flags.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/profiler.hpp"
 #include "workload/workload.hpp"
 
 namespace nocsim::bench {
@@ -42,7 +44,16 @@ struct BenchResult {
   double cycles_per_sec = 0.0;
 };
 
-BenchResult run_config(const BenchConfig& bc, int reps) {
+/// Per-run observability outputs (off by default: timing the bare loop is
+/// this benchmark's job, so the profiler is attached only on request).
+struct ObsOptions {
+  bool profile = false;
+  bool events = false;
+  std::string stem;  ///< <stem>.run<i>.profile.json / .events.csv
+};
+
+BenchResult run_config(const BenchConfig& bc, int reps, std::size_t index,
+                       const ObsOptions& obs) {
   SimConfig c;
   c.width = c.height = bc.side;
   c.l2_map = bc.side > 8 ? "exponential" : "xor";
@@ -58,19 +69,35 @@ BenchResult run_config(const BenchConfig& bc, int reps) {
   Rng rng(17);
   const auto wl = make_category_workload("HM", bc.side * bc.side, rng);
   Simulator sim(c, wl);
+  PhaseProfiler profiler;
+  if (obs.profile) sim.attach_profiler(&profiler);
+  EventLog events;
+  if (obs.events) sim.attach_events(&events);
   sim.run_cycles(bc.warmup);
 
   BenchResult res{bc, 1e300, 0.0};
   for (int rep = 0; rep < reps; ++rep) {
-    // nocsim-lint: allow(wallclock): wall time measures the host, it never feeds sim state.
+    // nocsim-lint: allow(wallclock, raw-timing): wall time measures the host, it never feeds sim state.
     const auto t0 = std::chrono::steady_clock::now();
     sim.run_cycles(bc.cycles);
-    // nocsim-lint: allow(wallclock): wall time measures the host, it never feeds sim state.
+    // nocsim-lint: allow(wallclock, raw-timing): wall time measures the host, it never feeds sim state.
     const auto t1 = std::chrono::steady_clock::now();
+    // nocsim-lint: allow(raw-timing): duration math on the host stamps above.
     const double secs = std::chrono::duration<double>(t1 - t0).count();
     if (secs < res.best_seconds) res.best_seconds = secs;
   }
   res.cycles_per_sec = static_cast<double>(bc.cycles) / res.best_seconds;
+
+  const std::string base = obs.stem + ".run" + std::to_string(index);
+  if (obs.profile) {
+    profiler.tick(c.warmup_cycles + static_cast<Cycle>(reps) * bc.cycles);
+    if (!profiler.write_json_file(base + ".profile.json")) {
+      std::cerr << "cycle_loop: cannot write " << base << ".profile.json\n";
+    }
+  }
+  if (obs.events && !events.write_csv_file(base + ".events.csv")) {
+    std::cerr << "cycle_loop: cannot write " << base << ".events.csv\n";
+  }
   return res;
 }
 
@@ -143,6 +170,13 @@ int run(int argc, char** argv) {
       flags.get_bool("skip-32", false, "measure only the 8x8 config (quick check)");
   const std::string out_path =
       flags.get_string("out", "", "write the JSON report here instead of stdout");
+  ObsOptions obs;
+  obs.profile = flags.get_bool(
+      "profile", false, "attach the phase profiler; write <stem>.run<i>.profile.json");
+  obs.events = flags.get_bool(
+      "events", false, "attach the provenance event log; write <stem>.run<i>.events.csv");
+  obs.stem = flags.get_string(
+      "obs-stem", "cycle_loop", "path stem for --profile/--events outputs");
   if (flags.finish()) return 0;
 
   std::vector<BenchConfig> configs = {{"fig02_8x8", 8, 5'000, cycles8}};
@@ -174,8 +208,9 @@ int run(int argc, char** argv) {
   }
 
   std::vector<BenchResult> results;
-  for (const BenchConfig& bc : configs) {
-    results.push_back(run_config(bc, reps));
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const BenchConfig& bc = configs[i];
+    results.push_back(run_config(bc, reps, i, obs));
     std::cerr << "cycle_loop: " << bc.name << " " << results.back().cycles_per_sec
               << " cycles/s (" << results.back().best_seconds << " s best of " << reps
               << ")\n";

@@ -20,6 +20,21 @@
 
 namespace nocsim {
 
+/// Optional barrier instrumentation, implemented by the telemetry profiler
+/// (src/telemetry/profiler.hpp). The clock lives behind a function pointer
+/// so this header stays free of raw timing (see the nocsim_lint
+/// `raw-timing` rule): ShardTeam itself never reads a clock, it only
+/// reports how long each tile sat in a barrier spin.
+struct ShardTeamProbe {
+  void* ctx = nullptr;
+  /// Monotonic nanosecond clock.
+  std::uint64_t (*now_ns)(void* ctx) = nullptr;
+  /// Called once per barrier per tile with the time that tile spent
+  /// waiting: workers report the spin between jobs, the caller (tile 0)
+  /// reports the close-barrier spin after its inline job.
+  void (*record_wait)(void* ctx, int tile, std::uint64_t ns) = nullptr;
+};
+
 class ShardTeam {
  public:
   explicit ShardTeam(int tiles) : tiles_(tiles) {
@@ -41,6 +56,14 @@ class ShardTeam {
 
   [[nodiscard]] int tiles() const { return tiles_; }
 
+  /// Install (or clear, with nullptr) a barrier probe. The probe must
+  /// outlive the team or be cleared first. Workers pick it up on their
+  /// next barrier; the one-barrier handoff window is unmeasured, not
+  /// unsafe (the pointer itself is an atomic).
+  void set_probe(const ShardTeamProbe* probe) {
+    probe_.store(probe, std::memory_order_release);
+  }
+
   /// Execute fn(tile) for every tile in [0, tiles): the caller runs tile 0
   /// inline, workers run the rest. Returns only after ALL tiles finish — a
   /// full barrier, so fn may read anything written in the previous phase
@@ -56,10 +79,13 @@ class ShardTeam {
     done_.store(0, std::memory_order_relaxed);
     epoch_.fetch_add(1, std::memory_order_release);  // publish job_/ctx_
     fn(0);
+    const ShardTeamProbe* probe = probe_.load(std::memory_order_acquire);
+    const std::uint64_t w0 = probe != nullptr ? probe->now_ns(probe->ctx) : 0;
     int spins = 0;
     while (done_.load(std::memory_order_acquire) != tiles_ - 1) {
       if (++spins > kSpinLimit) std::this_thread::yield();
     }
+    if (probe != nullptr) probe->record_wait(probe->ctx, 0, probe->now_ns(probe->ctx) - w0);
   }
 
  private:
@@ -73,6 +99,8 @@ class ShardTeam {
   void worker_loop(int tile) {
     std::uint64_t seen = 0;
     for (;;) {
+      const ShardTeamProbe* probe = probe_.load(std::memory_order_acquire);
+      const std::uint64_t w0 = probe != nullptr ? probe->now_ns(probe->ctx) : 0;
       std::uint64_t e = epoch_.load(std::memory_order_acquire);
       int spins = 0;
       while (e == seen) {
@@ -81,6 +109,7 @@ class ShardTeam {
       }
       seen = e;
       if (stop_.load(std::memory_order_acquire)) return;
+      if (probe != nullptr) probe->record_wait(probe->ctx, tile, probe->now_ns(probe->ctx) - w0);
       job_(ctx_, tile);
       done_.fetch_add(1, std::memory_order_release);
     }
@@ -93,6 +122,7 @@ class ShardTeam {
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<int> done_{0};
   std::atomic<bool> stop_{false};
+  std::atomic<const ShardTeamProbe*> probe_{nullptr};
   std::vector<std::thread> workers_;
 };
 

@@ -153,6 +153,32 @@ void BlessFabric::set_shard_plan(const ShardPlan* plan) {
   rebuild_layout();
 }
 
+std::uint32_t BlessFabric::oldest_inflight_inject_cycle() const {
+  // Every in-flight flit sits in exactly one latch-bank slot (written at
+  // departure, consumed when its bank becomes current), so scanning all
+  // banks' valid masks between cycles sees the whole network.
+  std::uint32_t oldest = kNoInflight;
+  const int tiles = plan_ != nullptr ? plan_->tiles() : 1;
+  for (const LatchBank& b : banks_) {
+    for (int t = 0; t < tiles; ++t) {
+      const std::size_t m = plan_ != nullptr ? static_cast<std::size_t>(plan_->tile_nodes(t))
+                                             : static_cast<std::size_t>(topo_.num_nodes());
+      const std::uint8_t* valid = b.valid[static_cast<std::size_t>(t)];
+      const FlitHeader* hdr = b.hdr[static_cast<std::size_t>(t)];
+      for (std::size_t local = 0; local < m; ++local) {
+        std::uint8_t lv = valid[local];
+        while (lv != 0) {
+          const int p = std::countr_zero(static_cast<unsigned>(lv));
+          lv &= static_cast<std::uint8_t>(lv - 1);
+          const std::uint32_t ic = hdr[local * kNumDirs + static_cast<std::size_t>(p)].inject_cycle;
+          if (ic < oldest) oldest = ic;
+        }
+      }
+    }
+  }
+  return oldest;
+}
+
 void BlessFabric::shard_route(Cycle now, int tile) {
   NOCSIM_PHASE("route");
   // Same worklist walk as step(), restricted to this tile's bits. Boundary

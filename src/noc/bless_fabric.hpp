@@ -63,6 +63,7 @@ class BlessFabric final : public Fabric {
   void begin_cycle(Cycle now) override;
   [[nodiscard]] bool can_accept(NodeId n) const override;
   void step(Cycle now) override;
+  [[nodiscard]] std::uint32_t oldest_inflight_inject_cycle() const override;
 
   // Sharded stepping: begin_cycle is already a serial pointer swap (the
   // default shard_begin), and there is nothing to deliver — arrivals were

@@ -86,6 +86,32 @@ bool BufferedFabric::can_accept(NodeId n) const {
   return false;
 }
 
+std::uint32_t BufferedFabric::oldest_inflight_inject_cycle() const {
+  // Between cycles every in-flight flit is either buffered in a VC FIFO or
+  // riding a link (an arrival wheel slot — serial wheel_ or a tile's wheel
+  // when sharded; outboxes are drained within the cycle). Credits carry no
+  // flits.
+  std::uint32_t oldest = kNoInflight;
+  const auto fold = [&oldest](std::uint32_t ic) {
+    if (ic < oldest) oldest = ic;
+  };
+  for (const NodeState& st : nodes_) {
+    if (st.flits_buffered == 0) continue;
+    for (const auto& port : st.in_vc) {
+      for (const VcState& vc : port) fold(vc.fifo.min_inject_cycle());
+    }
+  }
+  for (const auto& slot : wheel_) {
+    for (const LinkArrival& a : slot) fold(a.h.inject_cycle);
+  }
+  for (const TileLinks& tl : tile_links_) {
+    for (const auto& slot : tl.wheel) {
+      for (const LinkArrival& a : slot) fold(a.h.inject_cycle);
+    }
+  }
+  return oldest;
+}
+
 void BufferedFabric::set_shard_plan(const ShardPlan* plan) {
   Fabric::set_shard_plan(plan);
   tile_links_.clear();

@@ -39,6 +39,7 @@ class BufferedFabric final : public Fabric {
   void begin_cycle(Cycle now) override;
   [[nodiscard]] bool can_accept(NodeId n) const override;
   void step(Cycle now) override;
+  [[nodiscard]] std::uint32_t oldest_inflight_inject_cycle() const override;
 
   // Sharded stepping: link-arrival and credit wheels become per-tile (a
   // tile delivers only its own routers' arrivals in shard_deliver), and
@@ -80,6 +81,16 @@ class BufferedFabric final : public Fabric {
       NOCSIM_DCHECK(count_ > 0);
       head_ = (head_ + 1) % kVcDepth;
       --count_;
+    }
+    /// Oldest inject_cycle among buffered flits (watchdog scan); the
+    /// all-ones sentinel when empty.
+    [[nodiscard]] std::uint32_t min_inject_cycle() const {
+      std::uint32_t m = ~std::uint32_t{0};
+      for (std::uint8_t i = 0; i < count_; ++i) {
+        const std::uint32_t ic = hdr_[(head_ + i) % kVcDepth].inject_cycle;
+        if (ic < m) m = ic;
+      }
+      return m;
     }
 
    private:

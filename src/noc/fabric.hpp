@@ -267,6 +267,15 @@ class Fabric {
   /// yet ejected, whether in a router, on a link, or buffered.
   [[nodiscard]] std::uint64_t in_flight() const { return in_network_; }
 
+  /// Sentinel for "no flit in flight" from oldest_inflight_inject_cycle().
+  static constexpr std::uint32_t kNoInflight = ~std::uint32_t{0};
+
+  /// Inject cycle of the oldest flit currently inside the network (router
+  /// latches, links, buffers), or kNoInflight when empty. A full scan of
+  /// the fabric's in-flight storage: meant for the livelock watchdog's
+  /// serial check cadence, never the per-cycle hot path.
+  [[nodiscard]] virtual std::uint32_t oldest_inflight_inject_cycle() const = 0;
+
   /// Cumulative deflections at node n's router (monotone; telemetry samples
   /// it as per-interval deltas). Always 0 on the buffered fabric.
   [[nodiscard]] std::uint64_t node_deflections(NodeId n) const {

@@ -88,6 +88,22 @@ struct SimConfig {
   /// default: telemetry CSVs are byte-identical between serial and sharded
   /// runs of one config, and these columns are structurally zero serially.
   bool telemetry_halo = false;
+  /// Livelock/starvation watchdogs (opt-in; see src/sim/simulator.cpp,
+  /// watchdog_check). When enabled, every `period` cycles the simulator
+  /// scans the fabric for the oldest in-flight flit and every NI for its
+  /// consecutive-blocked-injection streak, emits provenance events on
+  /// threshold crossings, and — with `abort` — hard-stops the run. The
+  /// checks read simulated state only, so enabling them never changes
+  /// simulation results.
+  struct WatchdogConfig {
+    bool enabled = false;
+    Cycle period = 1'000;             ///< check cadence, cycles
+    Cycle max_flit_age = 100'000;     ///< in-flight age considered livelocked
+    Cycle max_blocked_streak = 100'000;  ///< blocked-injection cycles considered starved
+    bool abort = false;               ///< NOCSIM_CHECK-fail on any trip
+  };
+  WatchdogConfig watchdog;
+
   /// Functional L1 warm-up per core before cycle 0 (no timing): removes the
   /// compulsory-miss transient from the measurement.
   std::uint64_t prewarm_instructions = 60'000;

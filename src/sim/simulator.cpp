@@ -6,6 +6,8 @@
 #include "cpu/file_trace.hpp"
 #include "noc/bless_fabric.hpp"
 #include "noc/buffered_fabric.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workload/synth_trace.hpp"
 
@@ -47,9 +49,12 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
     case CcMode::None:
       controller_ = std::make_unique<NoController>();
       break;
-    case CcMode::Central:
-      controller_ = std::make_unique<CentralController>(config_.cc_params);
+    case CcMode::Central: {
+      auto central = std::make_unique<CentralController>(config_.cc_params);
+      central_ = central.get();
+      controller_ = std::move(central);
       break;
+    }
     case CcMode::Static:
       controller_ = std::make_unique<StaticController>(config_.static_rate);
       break;
@@ -107,6 +112,10 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
   telemetry_.resize(n);
   staged_rates_.assign(n, 0.0);
   epoch_ipf_.resize(n);
+  if (config_.watchdog.enabled) {
+    NOCSIM_CHECK_MSG(config_.watchdog.period >= 1, "watchdog period must be >= 1");
+    wd_blocked_over_.assign(static_cast<std::size_t>(n), 0);
+  }
 
   NOCSIM_CHECK_MSG(config_.shards >= 1, "shards must be >= 1");
   NOCSIM_CHECK_MSG(!(config_.shard_dims.active() && config_.shards > 1),
@@ -138,6 +147,7 @@ void Simulator::sync_ni(NodeId n, Cycle upto) {
   const Cycle k = upto - ni.synced_to;
   ni.starvation.record_idle(k);
   ni.starvation_net.record_idle(k);
+  ni.blocked_streak = 0;  // idle cycles are non-blocked by definition
   if (measuring_) {
     // The rate is constant across the gap (set_rate sites all sync first).
     // One add per cycle — k * r would round differently; the per-cycle sum
@@ -356,6 +366,7 @@ void Simulator::ni_inject(NodeId n) {
   if (!has_response && !has_request) {
     ni.starvation.record(false);
     ni.starvation_net.record(false);
+    ni.blocked_streak = 0;
     // Drained: go to sleep. sync_ni replays the idle cycles on wake-up.
     // Under distributed CC the worklist is unused (full scan every cycle).
     if (sharded_) {
@@ -393,6 +404,7 @@ void Simulator::ni_inject(NodeId n) {
       if (gate_all) {
         if (!ni.throttler.allow()) {
           ni.starvation.record(true);  // Algorithm 3: block injection, starved
+          ++ni.blocked_streak;
           return;
         }
         pick = (has_response && (ni.response_turn || !has_request)) ? 1 : 2;
@@ -404,6 +416,7 @@ void Simulator::ni_inject(NodeId n) {
         pick = 1;  // request throttled (or absent); don't waste the port
       } else {
         ni.starvation.record(true);  // Algorithm 3: block injection, starved
+        ++ni.blocked_streak;
         return;
       }
     }
@@ -420,6 +433,11 @@ void Simulator::ni_inject(NodeId n) {
     injected = true;
   }
   ni.starvation.record(!injected);
+  if (injected) {
+    ni.blocked_streak = 0;
+  } else {
+    ++ni.blocked_streak;
+  }
 }
 
 void Simulator::epoch_update() {
@@ -452,6 +470,7 @@ void Simulator::epoch_update() {
   net.hop_inflation = d_min ? static_cast<double>(d_hops) / static_cast<double>(d_min) : 1.0;
 
   controller_->on_epoch(now_, telemetry_, net, staged_rates_);
+  if (events_ != nullptr) emit_epoch_events(net);
 
   if (!config_.model_control_traffic) {
     for (NodeId i = 0; i < n; ++i) nis_[i].throttler.set_rate(staged_rates_[i]);
@@ -471,6 +490,95 @@ void Simulator::epoch_update() {
                    nis_[ctrl].next_seq++);
   }
   wake_ni(ctrl, now_ + 1);
+}
+
+void Simulator::emit_epoch_events(const NetTelemetry& net) {
+  // Runs at the end of epoch_update, after the controller decided: every
+  // field below is exactly what Algorithm 1 consumed (telemetry_, the
+  // sigma windows) or produced (staged_rates_, escalation) this epoch.
+  // Emission order is fixed — network events, then per-node events in
+  // ascending node id — and everything here is simulated state, so the
+  // stream is byte-identical at any shard count.
+  const double esc = central_ != nullptr ? central_->escalation() : 1.0;
+  const double mean_ipf = central_ != nullptr ? central_->last_mean_ipf() : 0.0;
+  const bool congested = controller_->last_congested();
+  if (congested != event_congested_) {
+    events_->emit(SimEvent{now_, congested ? SimEventKind::HotspotOn : SimEventKind::HotspotOff,
+                           kInvalidNode, esc, mean_ipf, 0.0, 0.0, net.hop_inflation});
+    event_congested_ = congested;
+  }
+  if (congested) {
+    events_->emit(SimEvent{now_, SimEventKind::CcEpoch, kInvalidNode, esc, mean_ipf, 0.0, 0.0,
+                           net.hop_inflation});
+  }
+  const int n = config_.num_nodes();
+  for (NodeId i = 0; i < n; ++i) {
+    const double prev = event_rates_[static_cast<std::size_t>(i)];
+    const double next = staged_rates_[static_cast<std::size_t>(i)];
+    if (next != prev) {
+      const SimEventKind kind = prev == 0.0 ? SimEventKind::ThrottleOn
+                                : next == 0.0 ? SimEventKind::ThrottleOff
+                                              : SimEventKind::ThrottleAdjust;
+      events_->emit(SimEvent{now_, kind, i, next, telemetry_[static_cast<std::size_t>(i)].ipf,
+                             telemetry_[static_cast<std::size_t>(i)].starvation_rate,
+                             nis_[static_cast<std::size_t>(i)].starvation_net.windowed_rate(),
+                             esc});
+      event_rates_[static_cast<std::size_t>(i)] = next;
+    }
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeTelemetry& t = telemetry_[static_cast<std::size_t>(i)];
+    const double threshold = config_.cc_params.starve_threshold(t.ipf);
+    const bool starved = t.starvation_rate > threshold;  // Eq. 1, as the controller tests it
+    if (starved != (starve_flag_[static_cast<std::size_t>(i)] != 0)) {
+      events_->emit(SimEvent{now_, starved ? SimEventKind::StarveOn : SimEventKind::StarveOff, i,
+                             event_rates_[static_cast<std::size_t>(i)], t.ipf, t.starvation_rate,
+                             nis_[static_cast<std::size_t>(i)].starvation_net.windowed_rate(),
+                             threshold});
+      starve_flag_[static_cast<std::size_t>(i)] = starved ? 1 : 0;
+    }
+  }
+}
+
+void Simulator::watchdog_check() {
+  const SimConfig::WatchdogConfig& wd = config_.watchdog;
+  // Livelock: age of the oldest in-flight flit. Edge-triggered — one event
+  // per episode, cleared when the flit finally drains.
+  Cycle age = 0;
+  if (fabric_->in_flight() > 0) {
+    const std::uint32_t oldest = fabric_->oldest_inflight_inject_cycle();
+    if (oldest != Fabric::kNoInflight) age = now_ - static_cast<Cycle>(oldest);
+  }
+  if (age > wd_max_age_) wd_max_age_ = age;
+  const bool age_over = age >= wd.max_flit_age;
+  if (age_over && !wd_age_over_) {
+    if (events_ != nullptr) {
+      events_->emit(SimEvent{now_, SimEventKind::WatchdogFlitAge, kInvalidNode, 0.0, 0.0, 0.0,
+                             0.0, static_cast<double>(age)});
+    }
+    NOCSIM_CHECK_MSG(!wd.abort,
+                     "watchdog: in-flight flit age exceeded max_flit_age (livelock?)");
+  }
+  wd_age_over_ = age_over;
+
+  // Starvation: per-NI consecutive-blocked-injection streaks, maintained in
+  // ni_inject on the owning tile and read here serially.
+  const int n = config_.num_nodes();
+  for (NodeId i = 0; i < n; ++i) {
+    const Cycle streak = nis_[static_cast<std::size_t>(i)].blocked_streak;
+    const bool over = streak >= wd.max_blocked_streak;
+    if (over && wd_blocked_over_[static_cast<std::size_t>(i)] == 0) {
+      if (events_ != nullptr) {
+        events_->emit(SimEvent{now_, SimEventKind::WatchdogBlocked, i,
+                               nis_[static_cast<std::size_t>(i)].throttler.rate(),
+                               telemetry_[static_cast<std::size_t>(i)].ipf, 0.0, 0.0,
+                               static_cast<double>(streak)});
+      }
+      NOCSIM_CHECK_MSG(!wd.abort,
+                       "watchdog: blocked-injection streak exceeded max_blocked_streak");
+    }
+    wd_blocked_over_[static_cast<std::size_t>(i)] = over ? 1 : 0;
+  }
 }
 
 void Simulator::fold_l2(std::vector<PendingL2>& slot, bool by_home) {
@@ -521,23 +629,40 @@ void Simulator::step_sharded() {
   // adds at ejection, L2 wheel push order) were buffered per tile by the
   // phases and are folded here in ascending tile order — identical to the
   // serial ascending-node order because tiles are contiguous row strips.
-  fabric_->shard_begin(now_);
+  {
+    ProfScope ps(prof_, phase_.begin, 0);
+    fabric_->shard_begin(now_);
+  }
+  // begin_phase tells the profiler which phase's barrier the team is about to
+  // spin on, so worker wait time lands in the right (phase, tile) slot. The
+  // write is serial, published by the team's epoch release.
+  if (prof_ != nullptr) prof_->begin_phase(phase_.deliver);
   team_->run([this](int t) {
     NOCSIM_PHASE("deliver", &*plan_, t);
+    const std::uint64_t pt0 = prof_begin(prof_);
     fabric_->shard_deliver(now_, t);
     deliver_l2_shard(now_, t);
     inject_tile(t);
+    prof_end(prof_, phase_.deliver, t, pt0);
   });
+  if (prof_ != nullptr) prof_->begin_phase(phase_.route);
   team_->run([this](int t) {
     NOCSIM_PHASE("route", &*plan_, t);
+    const std::uint64_t pt0 = prof_begin(prof_);
     fabric_->shard_route(now_, t);
+    prof_end(prof_, phase_.route, t, pt0);
   });
+  if (prof_ != nullptr) prof_->begin_phase(phase_.exchange);
   team_->run([this](int t) {
     NOCSIM_PHASE("exchange", &*plan_, t);
+    const std::uint64_t pt0 = prof_begin(prof_);
     fabric_->shard_exchange(now_, t);
+    prof_end(prof_, phase_.exchange, t, pt0);
   });
+  if (prof_ != nullptr) prof_->begin_phase(phase_.core);
   team_->run([this](int t) {
     NOCSIM_PHASE("core", &*plan_, t);
+    const std::uint64_t pt0 = prof_begin(prof_);
     // Tile-masked walk of the runnable-core worklist (see the serial loop).
     // Sleep decisions clear only this tile's bits; boundary words are
     // shared with neighbours, so the clear is an atomic RMW.
@@ -559,23 +684,29 @@ void Simulator::step_sharded() {
         }
       }
     }
+    prof_end(prof_, phase_.core, t, pt0);
   });
-  fabric_->shard_finish(now_);
+  {
+    ProfScope ps(prof_, phase_.epilogue, 0);
+    fabric_->shard_finish(now_);
 
-  // Fold the buffered L2 pushes in serial program order: the route phase's
-  // ejected requests first (merged by home = ejection node), then the core
-  // phase's local-slice hits (merged by requester); clear the consumed due
-  // slot.
-  l2_wheel_[now_ % l2_wheel_.size()].clear();
-  auto& slot = l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()];
-  fold_l2(slot, /*by_home=*/true);
-  fold_l2(slot, /*by_home=*/false);
+    // Fold the buffered L2 pushes in serial program order: the route phase's
+    // ejected requests first (merged by home = ejection node), then the core
+    // phase's local-slice hits (merged by requester); clear the consumed due
+    // slot.
+    l2_wheel_[now_ % l2_wheel_.size()].clear();
+    auto& slot = l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()];
+    fold_l2(slot, /*by_home=*/true);
+    fold_l2(slot, /*by_home=*/false);
 
-  if ((now_ + 1) % config_.cc_params.epoch == 0) epoch_update();
-  if (hub_ != nullptr && (now_ + 1) % hub_period_ == 0) {
-    for (NodeId i = 0; i < config_.num_nodes(); ++i) sync_ni(i, now_ + 1);
-    hub_->sample(now_);
+    if ((now_ + 1) % config_.cc_params.epoch == 0) epoch_update();
+    if (config_.watchdog.enabled && (now_ + 1) % config_.watchdog.period == 0) watchdog_check();
+    if (hub_ != nullptr && (now_ + 1) % hub_period_ == 0) {
+      for (NodeId i = 0; i < config_.num_nodes(); ++i) sync_ni(i, now_ + 1);
+      hub_->sample(now_);
+    }
   }
+  if (prof_ != nullptr && (now_ + 1) % config_.cc_params.epoch == 0) prof_->tick(now_);
   ++now_;
 }
 
@@ -584,55 +715,72 @@ void Simulator::step() {
     step_sharded();
     return;
   }
-  fabric_->begin_cycle(now_);
-  deliver_l2(now_);
+  {
+    ProfScope ps(prof_, phase_.begin, 0);
+    fabric_->begin_cycle(now_);
+    deliver_l2(now_);
+  }
   const int n = config_.num_nodes();
-  if (distributed_) {
-    // Per-cycle rate updates: every NI-cycle is observable, no skipping.
-    for (NodeId i = 0; i < n; ++i) ni_inject(i);
-  } else {
-    // Only NIs with queued flits; sleeping NIs are replayed on wake-up.
-    for (std::size_t w = 0; w < ni_work_.size(); ++w) {
-      std::uint64_t bits = ni_work_[w];
+  {
+    ProfScope ps(prof_, phase_.inject, 0);
+    if (distributed_) {
+      // Per-cycle rate updates: every NI-cycle is observable, no skipping.
+      for (NodeId i = 0; i < n; ++i) ni_inject(i);
+    } else {
+      // Only NIs with queued flits; sleeping NIs are replayed on wake-up.
+      for (std::size_t w = 0; w < ni_work_.size(); ++w) {
+        std::uint64_t bits = ni_work_[w];
+        while (bits != 0) {
+          const int b = std::countr_zero(bits);
+          bits &= bits - 1;
+          ni_inject(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+        }
+      }
+    }
+  }
+  {
+    ProfScope ps(prof_, phase_.route, 0);
+    fabric_->step(now_);
+  }
+  {
+    ProfScope ps(prof_, phase_.core, 0);
+    // Only runnable cores; a core that ends the cycle blocked on the network
+    // sleeps until a fill wakes it (wake_core replays the skipped cycles).
+    for (std::size_t w = 0; w < core_work_.size(); ++w) {
+      std::uint64_t bits = core_work_[w];
       while (bits != 0) {
         const int b = std::countr_zero(bits);
         bits &= bits - 1;
-        ni_inject(static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b)));
+        const auto i = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
+        Core& core = *cores_[i];
+        core.step(now_);
+        if (core.blocked()) {
+          core_work_[w] &= ~(std::uint64_t{1} << (i & 63));
+          core_synced_[static_cast<std::size_t>(i)] = now_ + 1;
+        }
       }
     }
   }
-  fabric_->step(now_);
-  // Only runnable cores; a core that ends the cycle blocked on the network
-  // sleeps until a fill wakes it (wake_core replays the skipped cycles).
-  for (std::size_t w = 0; w < core_work_.size(); ++w) {
-    std::uint64_t bits = core_work_[w];
-    while (bits != 0) {
-      const int b = std::countr_zero(bits);
-      bits &= bits - 1;
-      const auto i = static_cast<NodeId>(w * 64 + static_cast<std::size_t>(b));
-      Core& core = *cores_[i];
-      core.step(now_);
-      if (core.blocked()) {
-        core_work_[w] &= ~(std::uint64_t{1} << (i & 63));
-        core_synced_[static_cast<std::size_t>(i)] = now_ + 1;
+  {
+    ProfScope ps(prof_, phase_.epilogue, 0);
+    if ((now_ + 1) % config_.cc_params.epoch == 0) epoch_update();
+    if (config_.watchdog.enabled && (now_ + 1) % config_.watchdog.period == 0) watchdog_check();
+    // Sample after epoch_update so an epoch-cadence row carries the values the
+    // controller consumed (sigma, IPF) and produced (rates, congested flag)
+    // *this* cycle. Null hub = one pointer test per cycle.
+    if (hub_ != nullptr && (now_ + 1) % hub_period_ == 0) {
+      // Gauges read sigma windows and counters of every NI directly.
+      for (NodeId i = 0; i < n; ++i) sync_ni(i, now_ + 1);
+      hub_->sample(now_);
+    }
+    if (distributed_ && (now_ + 1) % config_.dist_params.mark_update_period == 0) {
+      for (NodeId i = 0; i < n; ++i) {
+        fabric_->set_marks_flits(i,
+                                 distributed_->should_mark(nis_[i].starvation.windowed_rate()));
       }
     }
   }
-  if ((now_ + 1) % config_.cc_params.epoch == 0) epoch_update();
-  // Sample after epoch_update so an epoch-cadence row carries the values the
-  // controller consumed (sigma, IPF) and produced (rates, congested flag)
-  // *this* cycle. Null hub = one pointer test per cycle.
-  if (hub_ != nullptr && (now_ + 1) % hub_period_ == 0) {
-    // Gauges read sigma windows and counters of every NI directly.
-    for (NodeId i = 0; i < n; ++i) sync_ni(i, now_ + 1);
-    hub_->sample(now_);
-  }
-  if (distributed_ && (now_ + 1) % config_.dist_params.mark_update_period == 0) {
-    for (NodeId i = 0; i < n; ++i) {
-      fabric_->set_marks_flits(i,
-                               distributed_->should_mark(nis_[i].starvation.windowed_rate()));
-    }
-  }
+  if (prof_ != nullptr && (now_ + 1) % config_.cc_params.epoch == 0) prof_->tick(now_);
   ++now_;
 }
 
@@ -684,6 +832,8 @@ SimResult Simulator::run() {
 }
 
 SimResult Simulator::collect(Cycle measured_cycles) {
+  // Flush the tail partial-epoch sample so the profile covers every cycle.
+  if (prof_ != nullptr) prof_->tick(now_);
   for (NodeId i = 0; i < config_.num_nodes(); ++i) {
     sync_ni(i, now_);
     // Credit sleeping cores' skipped cycles so CoreStats are exact.
@@ -824,6 +974,39 @@ void Simulator::attach_telemetry(TelemetryHub* hub) {
                         [this, i] { return cores_[i]->lifetime_retired(); });
     }
   }
+}
+
+void Simulator::attach_profiler(PhaseProfiler* prof) {
+  NOCSIM_CHECK(prof != nullptr);
+  NOCSIM_CHECK_MSG(prof_ == nullptr, "profiler already attached");
+  // Registration order fixes the dense phase ids (and the track order in the
+  // merged Chrome trace). Serial runs use begin/inject/route/core/epilogue;
+  // sharded runs use begin/deliver/route/exchange/core/epilogue — deliver
+  // subsumes the serial inject phase (fabric delivery + L2 + NI injection run
+  // in one tile pass).
+  phase_.begin = prof->register_phase("begin");
+  phase_.deliver = prof->register_phase("deliver");
+  phase_.inject = prof->register_phase("inject");
+  phase_.route = prof->register_phase("route");
+  phase_.exchange = prof->register_phase("exchange");
+  phase_.core = prof->register_phase("core");
+  phase_.epilogue = prof->register_phase("epilogue");
+  prof->set_tiles(sharded_ ? plan_->tiles() : 1);
+  prof->enable();
+  prof_ = prof;
+  // Route the ShardTeam's barrier-spin measurements into the profiler; the
+  // probe is picked up by workers with an acquire load, so mid-run attachment
+  // is race-free (at worst the very first barrier goes unmeasured).
+  if (team_) team_->set_probe(prof->team_probe());
+}
+
+void Simulator::attach_events(EventLog* log) {
+  NOCSIM_CHECK(log != nullptr);
+  NOCSIM_CHECK_MSG(events_ == nullptr, "event log already attached");
+  events_ = log;
+  const auto n = static_cast<std::size_t>(config_.num_nodes());
+  event_rates_.assign(n, 0.0);
+  starve_flag_.assign(n, 0);
 }
 
 }  // namespace nocsim

@@ -38,6 +38,8 @@
 
 namespace nocsim {
 
+class EventLog;
+class PhaseProfiler;
 class TelemetryHub;
 
 class Simulator {
@@ -58,6 +60,27 @@ class Simulator {
   /// Attach a flit-level event tracer (forwarded to the fabric; see
   /// telemetry/flit_trace.hpp). Pass nullptr to detach.
   void attach_tracer(FlitEventSink* tracer) { fabric_->set_trace_sink(tracer); }
+
+  /// Attach the wall-clock phase profiler (must outlive the simulator):
+  /// registers the cycle-loop phases, sizes the per-tile slots, wires the
+  /// ShardTeam barrier probe, and enables it. Call once, before run().
+  /// With no profiler attached each phase costs one null-pointer test.
+  /// Profiling never reads or writes simulated state, so results stay
+  /// byte-identical with it on.
+  void attach_profiler(PhaseProfiler* prof);
+
+  /// Attach the congestion-provenance event log (must outlive the
+  /// simulator). Call once, before run(). Events are emitted only from
+  /// serial sections and carry only simulated state, so the stream is
+  /// byte-identical across shard counts and attaching it never changes
+  /// simulation results.
+  void attach_events(EventLog* log);
+
+  /// Highest in-flight flit age seen at any watchdog check (0 until the
+  /// watchdog runs). Deterministic: a pure function of (config, seed).
+  [[nodiscard]] Cycle max_flit_age_watermark() const { return wd_max_age_; }
+  /// Current consecutive-blocked-injection streak of node n's NI.
+  [[nodiscard]] Cycle blocked_streak(NodeId n) const { return nis_[n].blocked_streak; }
 
   /// Finer-grained control (tests): advance some cycles without the
   /// warmup/measure bookkeeping of run().
@@ -98,6 +121,10 @@ class Simulator {
     /// integral) has not been applied yet. While both queues are empty the
     /// NI is skipped and this lags now_; sync_ni replays the gap bit-exactly.
     Cycle synced_to = 0;
+    /// Consecutive cycles the NI wanted to inject but could not (mirrors
+    /// the Algorithm 2 starvation bit); reset on injection and on idle
+    /// cycles. Read serially by the watchdog.
+    Cycle blocked_streak = 0;
   };
 
   /// A serviced request waiting out the L2 latency.
@@ -142,6 +169,13 @@ class Simulator {
   void on_packet(NodeId at, const Flit& header);
   void deliver_l2(Cycle now);
   void epoch_update();
+  /// Provenance: compare the controller's staged rates against the last
+  /// decision, emit throttle/hotspot/starvation events with the inputs
+  /// that produced them. Serial sections only (end of epoch_update).
+  void emit_epoch_events(const NetTelemetry& net);
+  /// Livelock/starvation checks (config.watchdog): oldest in-flight flit
+  /// age and per-NI blocked streaks. Serial end-of-cycle, period cadence.
+  void watchdog_check();
   void begin_measurement();
   SimResult collect(Cycle measured_cycles);
 
@@ -214,6 +248,25 @@ class Simulator {
   // class index, -1 for idle and file-trace nodes.
   TelemetryHub* hub_ NOCSIM_SHARED_READONLY = nullptr;
   Cycle hub_period_ NOCSIM_SHARED_READONLY = 0;
+
+  // Observability (see attach_profiler / attach_events). The profiler is
+  // the only wall-clock consumer; everything below the event log records is
+  // simulated state.
+  PhaseProfiler* prof_ NOCSIM_SHARED_READONLY = nullptr;
+  struct ProfPhases {
+    int begin = 0, deliver = 0, inject = 0, route = 0, exchange = 0, core = 0, epilogue = 0;
+  };
+  ProfPhases phase_ NOCSIM_SHARED_READONLY;
+  EventLog* events_ NOCSIM_SHARED_READONLY = nullptr;
+  const CentralController* central_ NOCSIM_SHARED_READONLY = nullptr;
+  std::vector<double> event_rates_ NOCSIM_SHARED_READONLY;   ///< last decided rates
+  std::vector<std::uint8_t> starve_flag_ NOCSIM_SHARED_READONLY;  ///< in a starve episode
+  bool event_congested_ NOCSIM_SHARED_READONLY = false;
+  bool wd_age_over_ NOCSIM_SHARED_READONLY = false;
+  std::vector<std::uint8_t> wd_blocked_over_ NOCSIM_SHARED_READONLY;
+  Cycle wd_max_age_ NOCSIM_SHARED_READONLY = 0;
+
+
   LatencyHistograms lat_all_ NOCSIM_SHARED_READONLY;
   std::array<LatencyHistograms, kNumIntensityClasses> lat_class_ NOCSIM_SHARED_READONLY;
   std::vector<int> node_class_ NOCSIM_SHARED_READONLY;

@@ -9,7 +9,9 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/event_log.hpp"
 #include "telemetry/flit_trace.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace nocsim {
@@ -234,13 +236,14 @@ std::vector<SimResult> SweepRunner::run(const std::vector<SweepPoint>& points) {
       if (options_.derive_seeds) {
         config.seed = derive_seed(config.seed, point.seed_stream.value_or(i));
       }
-      // nocsim-lint: allow(wallclock): host wall time feeds the run record only, never sim state.
+      // nocsim-lint: allow(wallclock, raw-timing): host wall time feeds the run record only, never sim state.
       const auto start = std::chrono::steady_clock::now();
       Simulator sim(config, point.workload);
 
       // Telemetry: a caller-owned hub wins; otherwise a stem makes the
-      // runner own one per run and write its files below. Both hub and
-      // tracer are private to this run, so records stay schedule-free.
+      // runner own one per run and write its files below. Hub, tracer,
+      // profiler, and event log are all private to this run, so records
+      // stay schedule-free.
       const bool own_files = !options_.telemetry_stem.empty();
       TelemetryHub* hub = point.hub;
       std::optional<TelemetryHub> owned_hub;
@@ -256,6 +259,16 @@ std::vector<SimResult> SweepRunner::run(const std::vector<SweepPoint>& points) {
         tracer.emplace(topts);
         sim.attach_tracer(&*tracer);
       }
+      std::optional<PhaseProfiler> profiler;
+      if (options_.profile && own_files) {
+        profiler.emplace();
+        sim.attach_profiler(&*profiler);
+      }
+      std::optional<EventLog> events;
+      if (options_.events && own_files) {
+        events.emplace();
+        sim.attach_events(&*events);
+      }
 
       results[i] = sim.run();
 
@@ -264,11 +277,22 @@ std::vector<SimResult> SweepRunner::run(const std::vector<SweepPoint>& points) {
         if (owned_hub && !owned_hub->write_csv_file(base + ".timeseries.csv")) {
           std::fprintf(stderr, "nocsim: cannot write %s.timeseries.csv\n", base.c_str());
         }
-        if (tracer && !tracer->write_json_file(base + ".trace.json")) {
+        // Profiler/event tracks merge into the flit trace when both exist,
+        // so one Perfetto load shows flit motion, phase timing, and
+        // provenance instants on a shared timeline.
+        if (tracer && !tracer->write_json_file(base + ".trace.json",
+                                               profiler ? &*profiler : nullptr,
+                                               events ? &*events : nullptr)) {
           std::fprintf(stderr, "nocsim: cannot write %s.trace.json\n", base.c_str());
         }
+        if (profiler && !profiler->write_json_file(base + ".profile.json")) {
+          std::fprintf(stderr, "nocsim: cannot write %s.profile.json\n", base.c_str());
+        }
+        if (events && !events->write_csv_file(base + ".events.csv")) {
+          std::fprintf(stderr, "nocsim: cannot write %s.events.csv\n", base.c_str());
+        }
       }
-      // nocsim-lint: allow(wallclock): wall_seconds is a reporting field, not sim state.
+      // nocsim-lint: allow(wallclock, raw-timing): wall_seconds is a reporting field, not sim state.
       const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
       if (options_.log) {
         options_.log->add(
@@ -286,10 +310,10 @@ void SweepRunner::run_indexed(std::size_t n, const std::function<RunRecord(std::
   ThreadPool pool(jobs);
   for (std::size_t i = 0; i < n; ++i) {
     pool.submit([this, i, &fn] {
-      // nocsim-lint: allow(wallclock): host wall time feeds the run record only, never sim state.
+      // nocsim-lint: allow(wallclock, raw-timing): host wall time feeds the run record only, never sim state.
       const auto start = std::chrono::steady_clock::now();
       RunRecord rec = fn(i);
-      // nocsim-lint: allow(wallclock): wall_seconds is a reporting field, not sim state.
+      // nocsim-lint: allow(wallclock, raw-timing): wall_seconds is a reporting field, not sim state.
       const std::chrono::duration<double> wall = std::chrono::steady_clock::now() - start;
       rec.index = i;
       rec.wall_seconds = wall.count();

@@ -114,6 +114,15 @@ struct SweepOptions {
   /// When > 0, attach a flit tracer sampling 1-in-N packets to every run
   /// and write `<stem>.run<i>.trace.json` (requires telemetry_stem).
   std::uint32_t trace_flits = 0;
+  /// Attach a PhaseProfiler to every run and write
+  /// `<stem>.run<i>.profile.json` (requires telemetry_stem). The profile
+  /// reports host wall time, so — alone among sweep outputs — its bytes are
+  /// not deterministic; it never feeds back into simulated state.
+  bool profile = false;
+  /// Attach an EventLog to every run and write `<stem>.run<i>.events.csv`
+  /// (requires telemetry_stem). Events carry only simulated state, so the
+  /// CSV is byte-identical for a fixed (config, seed) at any --jobs/shards.
+  bool events = false;
 };
 
 /// Runs a vector of sweep points on a fixed-size thread pool and collects

@@ -4,6 +4,8 @@
 #include <fstream>
 
 #include "common/check.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace nocsim {
 
@@ -51,7 +53,8 @@ void ChromeTracer::on_eject(Cycle now, NodeId at, const Flit& f) {
   if (sampled(f)) record(now, at, kInvalidNode, f, Kind::Eject);
 }
 
-void ChromeTracer::write_json(std::ostream& out) const {
+void ChromeTracer::write_json(std::ostream& out, const PhaseProfiler* profile,
+                              const EventLog* events) const {
   // One lane per router that appears in the trace, announced via thread_name
   // metadata, in router-id order (deterministic output).
   NodeId max_router = -1;
@@ -73,6 +76,12 @@ void ChromeTracer::write_json(std::ostream& out) const {
   emit_sep();
   out << "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
       << "\"args\": {\"name\": \"nocsim fabric\"}}";
+  // Buffer-full drops as an in-band record, so a truncated trace announces
+  // itself even to tools that ignore otherData.
+  emit_sep();
+  out << "    {\"name\": \"tracer.dropped\", \"ph\": \"M\", \"pid\": 0, "
+      << "\"args\": {\"dropped_events\": " << dropped_ << ", \"max_events\": " << max_events_
+      << "}}";
   for (std::size_t r = 0; r < seen.size(); ++r) {
     if (!seen[r]) continue;
     emit_sep();
@@ -89,13 +98,18 @@ void ChromeTracer::write_json(std::ostream& out) const {
     if (e.kind == Kind::Hop) out << ", \"to\": " << e.to;
     out << "}}";
   }
+  // Merged tracks: write_chrome_events emits ",\n"-prefixed entries, valid
+  // here because the metadata records above guarantee a preceding event.
+  if (events != nullptr) events->write_chrome_events(out);
+  if (profile != nullptr) profile->write_chrome_events(out);
   out << "\n  ]\n}\n";
 }
 
-bool ChromeTracer::write_json_file(const std::string& path) const {
+bool ChromeTracer::write_json_file(const std::string& path, const PhaseProfiler* profile,
+                                   const EventLog* events) const {
   std::ofstream out(path);
   if (!out) return false;
-  write_json(out);
+  write_json(out, profile, events);
   return static_cast<bool>(out);
 }
 

@@ -27,6 +27,9 @@
 
 namespace nocsim {
 
+class EventLog;
+class PhaseProfiler;
+
 class ChromeTracer final : public FlitEventSink {
  public:
   struct Options {
@@ -49,12 +52,19 @@ class ChromeTracer final : public FlitEventSink {
   [[nodiscard]] std::uint64_t dropped_events() const { return dropped_; }
 
   /// JSON object format: {"traceEvents": [...], ...}. Valid JSON whether or
-  /// not any events were recorded.
-  void write_json(std::ostream& out) const;
+  /// not any events were recorded. Buffer-full drops are never silent: the
+  /// count appears both in otherData and as a `tracer.dropped` metadata
+  /// record inside traceEvents. Optionally merges the profiler's
+  /// counter/slice tracks (pid 1) and the event log's instant events onto
+  /// the same timeline, so simulator performance, congestion decisions and
+  /// flit traffic are visible in one Perfetto view.
+  void write_json(std::ostream& out, const PhaseProfiler* profile = nullptr,
+                  const EventLog* events = nullptr) const;
 
   /// Convenience: write_json to `path`. Returns false if the file cannot be
   /// opened.
-  bool write_json_file(const std::string& path) const;
+  bool write_json_file(const std::string& path, const PhaseProfiler* profile = nullptr,
+                       const EventLog* events = nullptr) const;
 
  private:
   enum class Kind : std::uint8_t { Inject, Hop, Deflect, Eject };

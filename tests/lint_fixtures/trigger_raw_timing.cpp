@@ -1,0 +1,17 @@
+// Lint fixture: must trigger [raw-timing] under --sim-state (chrono mentions
+// that are not clock reads, so [wallclock] stays silent) — not compiled.
+#include <chrono>
+#include <cstdint>
+
+namespace nocsim_fixture {
+
+struct RouterStats {
+  std::chrono::nanoseconds route_time{0};  // duration stored next to sim state
+};
+
+inline std::uint64_t to_ns(std::chrono::steady_clock::duration d) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+}  // namespace nocsim_fixture

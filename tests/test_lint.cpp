@@ -93,6 +93,23 @@ TEST(Lint, WallClockReadsTrigger) {
   EXPECT_EQ(count_rule(run.output, "wallclock"), 3) << run.output;
 }
 
+TEST(Lint, RawTimingInSimStateTriggers) {
+  const LintRun run = run_lint("trigger_raw_timing.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Four chrono mentions: the duration member, the parameter type, and the
+  // duration_cast's two type arguments. None are clock reads, so the
+  // wallclock rule must stay silent — the rules are independent.
+  EXPECT_EQ(count_rule(run.output, "raw-timing"), 4) << run.output;
+  EXPECT_EQ(count_rule(run.output, "wallclock"), 0) << run.output;
+}
+
+TEST(Lint, RawTimingOutsideSimStateIsAllowed) {
+  // Host-side tools and tests may use chrono freely; the rule guards the
+  // simulation layers only.
+  const LintRun run = run_lint("trigger_raw_timing.cpp", /*sim_state=*/false);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST(Lint, PointerKeyedComparatorTriggers) {
   const LintRun run = run_lint("trigger_pointer_sort.cpp", /*sim_state=*/false);
   EXPECT_EQ(run.exit_code, 1) << run.output;
@@ -226,7 +243,8 @@ TEST(Lint, ListRulesIncludesTheShardRules) {
   const LintRun run = run_lint_cmd("--list-rules");
   EXPECT_EQ(run.exit_code, 0) << run.output;
   for (const char* rule : {"shard-unsafe-write", "unannotated-phase", "cross-tile-index",
-                           "alloc-in-phase", "lock-in-hot-path", "flit-payload-in-hot-path"}) {
+                           "alloc-in-phase", "lock-in-hot-path", "flit-payload-in-hot-path",
+                           "raw-timing"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule << "\n" << run.output;
   }
 }

@@ -323,5 +323,40 @@ TEST(ChromeTracer, EventCapDropsInsteadOfGrowing) {
   EXPECT_NE(ss.str().find("\"dropped_events\": "), std::string::npos);
 }
 
+// The tracer.dropped metadata record makes truncation visible inside the
+// trace itself (not just in otherData, which some viewers hide): present on
+// every trace, args carry the live drop count and the configured cap.
+TEST(ChromeTracer, DroppedMetadataRecordReportsTruncation) {
+  SimConfig c = telemetry_config();
+  c.warmup_cycles = 2'000;
+  c.measure_cycles = 6'000;
+  const auto trace_with_cap = [&](std::size_t cap) {
+    Simulator sim(c, make_homogeneous_workload("mcf", 16));
+    ChromeTracer::Options opts;
+    opts.sample_every = 1;
+    opts.max_events = cap;
+    ChromeTracer tracer(opts);
+    sim.attach_tracer(&tracer);
+    sim.run();
+    std::stringstream ss;
+    tracer.write_json(ss);
+    return std::make_pair(ss.str(), tracer.dropped_events());
+  };
+
+  const auto [clean, clean_drops] = trace_with_cap(std::size_t{1} << 20);
+  EXPECT_EQ(clean_drops, 0u);
+  EXPECT_NE(clean.find("{\"name\": \"tracer.dropped\", \"ph\": \"M\", \"pid\": 0, "
+                       "\"args\": {\"dropped_events\": 0, \"max_events\": 1048576}}"),
+            std::string::npos)
+      << "tracer.dropped metadata must appear even when nothing was dropped";
+
+  const auto [capped, capped_drops] = trace_with_cap(50);
+  ASSERT_GT(capped_drops, 0u);
+  EXPECT_NE(capped.find("\"args\": {\"dropped_events\": " + std::to_string(capped_drops) +
+                        ", \"max_events\": 50}}"),
+            std::string::npos)
+      << "tracer.dropped metadata must carry the live drop count";
+}
+
 }  // namespace
 }  // namespace nocsim

@@ -32,6 +32,10 @@
 //                     src/common/rng.hpp
 //   wallclock         time()/clock()/std::chrono::*_clock::now() — wall time
 //                     must never influence simulated behaviour
+//   raw-timing        any std::chrono mention in sim-state code outside the
+//                     sanctioned profiler (src/telemetry/profiler.*): host
+//                     timing must flow through PhaseProfiler so it stays
+//                     segregated from simulated state
 //   pointer-sort      sort/min_element/... comparator keyed on raw pointer
 //                     values (allocation-order dependent)
 //   narrow-cast       C-style cast to a narrow integer type in sim-state
@@ -82,7 +86,7 @@ namespace fs = std::filesystem;
 const std::set<std::string>& known_rules() {
   static const std::set<std::string> rules = {
       "unordered-iter", "unordered-member", "raw-entropy",
-      "wallclock",      "pointer-sort",     "narrow-cast",
+      "wallclock",      "raw-timing",       "pointer-sort",     "narrow-cast",
       "mutable-global", "iostream-in-hot-path", "bad-directive",
       "shard-unsafe-write", "unannotated-phase", "cross-tile-index",
       "alloc-in-phase", "lock-in-hot-path", "flit-payload-in-hot-path",
@@ -530,6 +534,7 @@ struct RuleContext {
   const Stripped& s;
   bool sim_state = false;  // src/{noc,sim,core,cpu,telemetry}, bench (or --sim-state)
   bool hot_path = false;   // src/noc, src/core (or --hot-path)
+  bool timing_impl = false;  // src/telemetry/profiler.* — the sanctioned clock home
   const SymbolTable* syms = nullptr;
   const std::vector<PhaseRegion>* regions = nullptr;
   std::vector<Finding>& findings;
@@ -665,6 +670,8 @@ void check_entropy_and_clocks(const RuleContext& ctx) {
        "clock() reads the wall clock; simulated behaviour must depend only on (config, seed)"},
   };
   for (const Banned& b : banned) {
+    // The profiler is the one sanctioned wall-clock reader (see raw-timing).
+    if (ctx.timing_impl && std::string(b.rule) == "wallclock") continue;
     const std::string tok = b.token;
     for (std::size_t pos = code.find(tok); pos != std::string::npos;
          pos = code.find(tok, pos + 1)) {
@@ -682,16 +689,37 @@ void check_entropy_and_clocks(const RuleContext& ctx) {
     }
   }
   // std::chrono::{steady,system,high_resolution,...}_clock::now()
-  for (std::size_t pos = code.find("_clock"); pos != std::string::npos;
-       pos = code.find("_clock", pos + 6)) {
-    const std::size_t after = pos + 6;
-    if (after < code.size() && is_ident(code[after])) continue;
-    const std::size_t now = skip_ws(code, after);
-    if (code.compare(now, 5, "::now") == 0) {
-      ctx.add(pos, "wallclock",
-              "chrono clock read: wall time must never influence simulated behaviour "
-              "(timing *reports* must be suppressed with a reason)");
+  if (!ctx.timing_impl) {
+    for (std::size_t pos = code.find("_clock"); pos != std::string::npos;
+         pos = code.find("_clock", pos + 6)) {
+      const std::size_t after = pos + 6;
+      if (after < code.size() && is_ident(code[after])) continue;
+      const std::size_t now = skip_ws(code, after);
+      if (code.compare(now, 5, "::now") == 0) {
+        ctx.add(pos, "wallclock",
+                "chrono clock read: wall time must never influence simulated behaviour "
+                "(timing *reports* must be suppressed with a reason)");
+      }
     }
+  }
+}
+
+// --- raw-timing ------------------------------------------------------------
+// In sim-state code, ANY std::chrono mention — not just clock reads — is a
+// smell: ad-hoc duration math next to simulated state invites wall time into
+// results and scatters timing code the profiler already centralizes. The
+// sanctioned home (src/telemetry/profiler.*) is exempt; everything else needs
+// an explicit allow with a reason.
+void check_raw_timing(const RuleContext& ctx) {
+  if (!ctx.sim_state || ctx.timing_impl) return;
+  const std::string& code = ctx.s.code;
+  for (std::size_t pos = code.find("chrono"); pos != std::string::npos;
+       pos = code.find("chrono", pos + 6)) {
+    if (!word_at(code, pos, "chrono")) continue;
+    ctx.add(pos, "raw-timing",
+            "raw std::chrono in sim-state code: host timing belongs in "
+            "PhaseProfiler (src/telemetry/profiler.hpp); measure via ProfScope, or "
+            "suppress with allow(raw-timing) and a reason");
   }
 }
 
@@ -1400,6 +1428,12 @@ bool path_is_entropy_impl(const std::string& generic_path) {
   return generic_path.find("src/common/rng.hpp") != std::string::npos;
 }
 
+// profiler.{hpp,cpp} is the one sanctioned host-timing implementation (the
+// raw-timing rule's counterpart to rng.hpp): it may read chrono clocks.
+bool path_is_profiler_impl(const std::string& generic_path) {
+  return generic_path.find("src/telemetry/profiler.") != std::string::npos;
+}
+
 // Loaded state for one input file, shared by both passes.
 struct FileData {
   fs::path path;
@@ -1414,9 +1448,11 @@ struct FileData {
 void analyze_file(FileData& fd, const SymbolTable& syms) {
   std::vector<PhaseRegion> regions = find_phase_regions(fd.display, fd.s, fd.findings);
   RuleContext ctx{fd.display, fd.s,      fd.sim_state, fd.hot_path,
+                  path_is_profiler_impl(fd.display),
                   &syms,      &regions,  fd.findings};
   check_unordered(ctx);
   if (!path_is_entropy_impl(fd.display)) check_entropy_and_clocks(ctx);
+  check_raw_timing(ctx);
   check_pointer_sort(ctx);
   check_narrow_cast(ctx);
   check_iostream_hot_path(ctx);
