@@ -24,6 +24,7 @@
 #include "sim/simulator.hpp"
 #include "telemetry/event_log.hpp"
 #include "telemetry/profiler.hpp"
+#include "topology/topology.hpp"
 #include "workload/workload.hpp"
 
 namespace nocsim::bench {
@@ -99,6 +100,62 @@ BenchResult run_config(const BenchConfig& bc, int reps, std::size_t index,
     std::cerr << "cycle_loop: cannot write " << base << ".events.csv\n";
   }
   return res;
+}
+
+/// Deterministic topology-smoke mode (--metrics): run ONE small config on
+/// the requested topology family and write the simulated metrics as CSV.
+/// No wall-clock timing is involved, so the file is a pure function of the
+/// flags — CI diffs a sharded run's CSV against a serial run's byte for
+/// byte. The default JSON timing mode is untouched.
+int run_metrics(const std::string& path, const std::string& topology, int side, int depth,
+                const std::string& topo_file, const std::string& router, int shards,
+                Cycle cycles) {
+  SimConfig c;
+  c.topology = topology;
+  c.depth = depth;
+  c.topology_file = topo_file;
+  if (topology == "irregular") {
+    // SimConfig sizing must match the graph file's declared node count.
+    c.width = peek_topology_nodes(topo_file);
+    c.height = 1;
+    c.depth = 1;
+  } else {
+    c.width = c.height = side;
+  }
+  c.router = (router == "buffered") ? RouterKind::Buffered : RouterKind::Bless;
+  c.warmup_cycles = 2'000;
+  c.measure_cycles = cycles;
+  c.cc_params.epoch = 1'000;
+  c.seed = 1;
+  c.shards = shards;
+  Rng rng(17);
+  const auto wl = make_category_workload("HM", c.num_cores(), rng);
+  Simulator sim(c, wl);
+  const SimResult r = sim.run();
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cycle_loop: cannot write " << path << "\n";
+    return 1;
+  }
+  char buf[64];
+  const auto fmt = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  out << "metric,value\n";
+  out << "cycles," << r.cycles << "\n";
+  out << "avg_net_latency," << fmt(r.avg_net_latency) << "\n";
+  out << "avg_total_latency," << fmt(r.avg_total_latency) << "\n";
+  out << "utilization," << fmt(r.utilization) << "\n";
+  out << "avg_hops," << fmt(r.avg_hops) << "\n";
+  out << "avg_deflections," << fmt(r.avg_deflections) << "\n";
+  out << "avg_starvation," << fmt(r.avg_starvation) << "\n";
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    out << "core." << i << ".retired," << r.nodes[i].retired << "\n";
+    out << "core." << i << ".flits," << r.nodes[i].flits << "\n";
+  }
+  return 0;
 }
 
 /// The host CPU model from /proc/cpuinfo, so a committed baseline records
@@ -177,7 +234,26 @@ int run(int argc, char** argv) {
       "events", false, "attach the provenance event log; write <stem>.run<i>.events.csv");
   obs.stem = flags.get_string(
       "obs-stem", "cycle_loop", "path stem for --profile/--events outputs");
+  // Topology-smoke mode (see run_metrics): deterministic, no timing.
+  const std::string metrics = flags.get_string(
+      "metrics", "", "write simulated-metric CSV for one config here (topology smoke mode)");
+  const std::string topology = flags.get_string(
+      "topology", "mesh", "smoke-mode family: mesh | torus | mesh3d | torus3d | cmesh | irregular");
+  const int side =
+      static_cast<int>(flags.get_int("side", 4, "smoke-mode mesh side (width = height)"));
+  const int depth =
+      static_cast<int>(flags.get_int("depth", 1, "smoke-mode z extent (3d families)"));
+  const std::string topo_file = flags.get_string(
+      "topology-file", "", "smoke-mode graph file (topology = irregular)");
+  const std::string router =
+      flags.get_string("router", "bless", "smoke-mode router: bless | buffered");
+  const auto metrics_cycles = static_cast<Cycle>(
+      flags.get_int("metrics-cycles", 5'000, "smoke-mode measured cycles"));
   if (flags.finish()) return 0;
+  if (!metrics.empty()) {
+    return run_metrics(metrics, topology, side, depth, topo_file, router, shards,
+                       metrics_cycles);
+  }
 
   std::vector<BenchConfig> configs = {{"fig02_8x8", 8, 5'000, cycles8}};
   if (!skip_large) {

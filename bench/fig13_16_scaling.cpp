@@ -27,6 +27,10 @@ int run(int argc, char** argv) {
       flags.get_int("cycles", 150'000, "measured cycles at 4x4 (shrinks with size)"));
   const std::string category =
       flags.get_string("category", "H", "workload category (paper: high intensity)");
+  const std::string topology = flags.get_string(
+      "topology", "mesh", "topology family: mesh | torus | mesh3d | torus3d | cmesh");
+  const int depth =
+      static_cast<int>(flags.get_int("depth", 1, "z extent (mesh3d / torus3d)"));
   const int shards = get_shards(flags);
   SweepContext sweep(flags);
   if (flags.finish()) return 0;
@@ -36,9 +40,14 @@ int run(int argc, char** argv) {
   for (int side = 4; side <= max_side; side *= 2) {
     const Cycle measure = scaled_measure(side, base_cycles);
     Rng rng(101);
-    const auto wl = make_category_workload(category, side * side, rng);
+    // Core count follows the family: depth layers and cmesh concentration
+    // multiply the side*side router grid.
+    const int cores = side * side * depth * (topology == "cmesh" ? CMesh::kConcentration : 1);
+    const auto wl = make_category_workload(category, cores, rng);
     for (const std::string& arch : archs()) {
       SimConfig c = scaling_config(side, measure);
+      c.topology = topology;
+      c.depth = depth;
       c.shards = shards;  // byte-identical for any value; speeds up big meshes
       if (arch == "BLESS-Throttling") c.cc = CcMode::Central;
       if (arch == "BLESS-Throttling-NoEsc") {
@@ -48,7 +57,7 @@ int run(int argc, char** argv) {
         c.cc_params.escalation = false;
       }
       if (arch == "Buffered") c.router = RouterKind::Buffered;
-      points.push_back({c, wl, std::to_string(side * side) + "/" + arch, group});
+      points.push_back({c, wl, std::to_string(cores) + "/" + arch, group});
     }
     ++group;
   }
@@ -65,6 +74,7 @@ int run(int argc, char** argv) {
 
   std::size_t k = 0;
   for (int side = 4; side <= max_side; side *= 2) {
+    const int cores = side * side * depth * (topology == "cmesh" ? CMesh::kConcentration : 1);
     double power_bless = 0, power_throttled = 0, power_buffered = 0;
     for (const std::string& arch : archs()) {
       const SimResult& r = results[k++];
@@ -72,10 +82,10 @@ int run(int argc, char** argv) {
       if (arch == "BLESS") power_bless = power;
       if (arch == "BLESS-Throttling") power_throttled = power;
       if (arch == "Buffered") power_buffered = power;
-      csv.row(side * side, arch, r.ipc_per_node(), r.avg_net_latency, r.utilization, power,
+      csv.row(cores, arch, r.ipc_per_node(), r.avg_net_latency, r.utilization, power,
               r.avg_starvation);
     }
-    csv.comment("fig16 @" + std::to_string(side * side) + " cores: throttling saves " +
+    csv.comment("fig16 @" + std::to_string(cores) + " cores: throttling saves " +
                 std::to_string(100.0 * (1.0 - power_throttled / power_bless)) +
                 "% vs BLESS, " +
                 std::to_string(100.0 * (1.0 - power_throttled / power_buffered)) +

@@ -7,17 +7,26 @@
 namespace nocsim {
 
 BlessFabric::BlessFabric(const Topology& topo, int router_latency, int link_latency,
-                         BlessRouting routing)
-    : Fabric(topo, router_latency, link_latency),
+                         BlessRouting routing, NodeId table_cap)
+    : Fabric(topo, router_latency, link_latency, table_cap),
       routing_(routing),
+      slot_bound_(topo.in_slot_bound()),
+      lanes_shift_(slot_bound_ <= 4 ? 2 : 3),
       nodes_(topo.num_nodes()) {
+  NOCSIM_CHECK(slot_bound_ <= kNumDirs);
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     auto& st = nodes_[n];
     for (int d = 0; d < kNumDirs; ++d) {
-      st.nbr[d] = topo.neighbor(n, static_cast<Dir>(d));
+      const Topology::Link& l = topo.link(n, d);
+      st.nbr[d] = l.to;
+      st.dst_slot[d] = l.in_slot;
       if (st.nbr[d] != kInvalidNode) ++st.degree;
     }
     NOCSIM_CHECK_MSG(st.degree >= 2, "degenerate topology: router with degree < 2");
+    // Deflection never drops only if arrivals (<= in-degree) always fit the
+    // output ports; grids are symmetric, irregular graphs must be too.
+    NOCSIM_CHECK_MSG(topo.in_degree(n) <= st.degree,
+                     "bufferless routing requires in-degree <= out-degree at every router");
   }
   rebuild_layout();
 }
@@ -51,12 +60,13 @@ void BlessFabric::rebuild_layout() {
   };
 
   // Size each tile's arena up front (bump arenas do not grow).
+  const auto lane_len = [this](std::size_t m) { return m << lanes_shift_; };
   arenas_.clear();
   arenas_.resize(static_cast<std::size_t>(tiles) + 1);
   for (int t = 0; t < tiles; ++t) {
     const std::size_t m = tile_nodes(t);
-    std::size_t bytes = nbanks * (Arena::lane_bytes<FlitHeader>(m * kNumDirs) +
-                                  Arena::lane_bytes<FlitPayload>(m * kNumDirs) +
+    std::size_t bytes = nbanks * (Arena::lane_bytes<FlitHeader>(lane_len(m)) +
+                                  Arena::lane_bytes<FlitPayload>(lane_len(m)) +
                                   Arena::lane_bytes<std::uint8_t>(m));
     for (int dst = 0; dst < tiles; ++dst)
       bytes += Arena::lane_bytes<HaloWrite>(cross[static_cast<std::size_t>(t) * tiles + dst]);
@@ -77,8 +87,8 @@ void BlessFabric::rebuild_layout() {
     Arena& a = arenas_[static_cast<std::size_t>(t)];
     const std::size_t m = tile_nodes(t);
     for (LatchBank& b : banks_) {
-      b.hdr[static_cast<std::size_t>(t)] = a.alloc_array<FlitHeader>(m * kNumDirs);
-      b.pay[static_cast<std::size_t>(t)] = a.alloc_array<FlitPayload>(m * kNumDirs);
+      b.hdr[static_cast<std::size_t>(t)] = a.alloc_array<FlitHeader>(lane_len(m));
+      b.pay[static_cast<std::size_t>(t)] = a.alloc_array<FlitPayload>(lane_len(m));
       b.valid[static_cast<std::size_t>(t)] = a.alloc_array<std::uint8_t>(m);
     }
   }
@@ -115,9 +125,9 @@ bool BlessFabric::can_accept(NodeId n) const {
       plan_ != nullptr ? plan_->local_of(n) : static_cast<std::size_t>(n);
   const std::uint8_t lv = cur_->valid[t][local];
   if (lv == 0) return true;
-  const FlitHeader* h = cur_->hdr[t] + local * kNumDirs;
+  const FlitHeader* h = cur_->hdr[t] + (local << lanes_shift_);
   bool has_eject = false;
-  for (int p = 0; p < kNumDirs; ++p) {
+  for (int p = 0; p < slot_bound_; ++p) {
     if ((lv & (1u << p)) && h[p].dst == n) {
       has_eject = true;
       break;
@@ -170,7 +180,8 @@ std::uint32_t BlessFabric::oldest_inflight_inject_cycle() const {
         while (lv != 0) {
           const int p = std::countr_zero(static_cast<unsigned>(lv));
           lv &= static_cast<std::uint8_t>(lv - 1);
-          const std::uint32_t ic = hdr[local * kNumDirs + static_cast<std::size_t>(p)].inject_cycle;
+          const std::uint32_t ic =
+              hdr[(local << lanes_shift_) + static_cast<std::size_t>(p)].inject_cycle;
           if (ic < oldest) oldest = ic;
         }
       }
@@ -223,8 +234,8 @@ void BlessFabric::shard_exchange(Cycle now, int tile) {
       NOCSIM_SHARD_CHECK_WRITE(hw.node, "halo latch apply (shard_exchange)");
       const std::size_t local = plan_->local_of(hw.node);
       NOCSIM_DCHECK((out_v[local] & (1u << hw.port)) == 0);
-      out_h[local * kNumDirs + hw.port] = hw.h;
-      out_p[local * kNumDirs + hw.port] = hw.p;
+      out_h[(local << lanes_shift_) + hw.port] = hw.h;
+      out_p[(local << lanes_shift_) + hw.port] = hw.p;
       out_v[local] |= static_cast<std::uint8_t>(1u << hw.port);
       std::atomic_ref<std::uint64_t>(out_bank.active[static_cast<std::size_t>(hw.node) >> 6])
           .fetch_or(std::uint64_t{1} << (hw.node & 63), std::memory_order_relaxed);
@@ -250,9 +261,9 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
   int count = 0;
   const std::uint8_t lv = cur_->valid[t][local];
   if (lv != 0) {
-    const FlitHeader* in_h = cur_->hdr[t] + local * kNumDirs;
-    const FlitPayload* in_p = cur_->pay[t] + local * kNumDirs;
-    for (int p = 0; p < kNumDirs; ++p) {
+    const FlitHeader* in_h = cur_->hdr[t] + (local << lanes_shift_);
+    const FlitPayload* in_p = cur_->pay[t] + (local << lanes_shift_);
+    for (int p = 0; p < slot_bound_; ++p) {
       if (lv & (1u << p)) {
         hs[count] = in_h[p];
         ps[count] = &in_p[p];
@@ -306,9 +317,9 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
   if (count == 0) return;
   NOCSIM_CHECK_MSG(count <= st.degree, "more through flits than output ports");
 
-  // 3. Oldest-first port allocation with XY preference; deflect losers.
-  // Tiny insertion sort (count <= 4): indices into hs[], oldest first.
-  // Arbitration reads headers only.
+  // 3. Oldest-first port allocation with dimension-order preference;
+  // deflect losers. Tiny insertion sort (count <= slot bound + 1): indices
+  // into hs[], oldest first. Arbitration reads headers only.
   std::array<int, kNumDirs + 1> order;
   for (int i = 0; i < count; ++i) {
     int j = i;
@@ -375,8 +386,7 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
     // cold payload is copied here, once, and its per-hop counters are
     // bumped at the destination slot.
     const NodeId next = st.nbr[assigned];
-    const auto in_port =
-        static_cast<std::uint8_t>(opposite(static_cast<Dir>(assigned)));
+    const std::uint8_t in_port = st.dst_slot[static_cast<std::size_t>(assigned)];
     if constexpr (Sharded) {
       if (!plan_->owns(tile, next)) {
         // Boundary crossing: the target tile applies this in shard_exchange.
@@ -399,17 +409,17 @@ void BlessFabric::route_node(Cycle now, NodeId n, int tile) {
       NOCSIM_SHARD_CHECK_WRITE(next, "downstream latch (route_node)");
       const std::size_t nl = plan_->local_of(next);
       NOCSIM_DCHECK((out_bank.valid[t][nl] & (1u << in_port)) == 0);
-      FlitPayload& dp = out_bank.pay[t][nl * kNumDirs + in_port];
+      FlitPayload& dp = out_bank.pay[t][(nl << lanes_shift_) + in_port];
       dp = *p;
       ++dp.hops;
       if (deflected) ++dp.deflections;
-      out_bank.hdr[t][nl * kNumDirs + in_port] = h;
+      out_bank.hdr[t][(nl << lanes_shift_) + in_port] = h;
       out_bank.valid[t][nl] |= static_cast<std::uint8_t>(1u << in_port);
       std::atomic_ref<std::uint64_t>(out_bank.active[static_cast<std::size_t>(next) >> 6])
           .fetch_or(std::uint64_t{1} << (next & 63), std::memory_order_relaxed);
     } else {
       NOCSIM_DCHECK((out_bank.valid[0][next] & (1u << in_port)) == 0);
-      const std::size_t slot = static_cast<std::size_t>(next) * kNumDirs + in_port;
+      const std::size_t slot = (static_cast<std::size_t>(next) << lanes_shift_) + in_port;
       FlitPayload& dp = out_bank.pay[0][slot];
       dp = *p;
       ++dp.hops;

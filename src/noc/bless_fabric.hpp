@@ -58,7 +58,8 @@ enum class BlessRouting : std::uint8_t {
 class BlessFabric final : public Fabric {
  public:
   BlessFabric(const Topology& topo, int router_latency = 2, int link_latency = 1,
-              BlessRouting routing = BlessRouting::StrictXY);
+              BlessRouting routing = BlessRouting::StrictXY,
+              NodeId table_cap = kRouteTableMaxNodes);
 
   void begin_cycle(Cycle now) override;
   [[nodiscard]] bool can_accept(NodeId n) const override;
@@ -77,6 +78,9 @@ class BlessFabric final : public Fabric {
   struct NodeState {
     std::uint8_t degree = 0;            ///< usable neighbour ports
     std::array<NodeId, kNumDirs> nbr{}; ///< neighbour id per port (or kInvalidNode)
+    /// Input latch slot this port's link lands in at the downstream router
+    /// (grids: opposite(port); irregular graphs: parser-assigned).
+    std::array<std::uint8_t, kNumDirs> dst_slot{};
   };
 
   /// One pipeline phase of arrival latches for the whole network, as
@@ -84,8 +88,11 @@ class BlessFabric final : public Fabric {
   /// bank at index `cycle % banks_.size()` holds exactly the flits arriving
   /// that cycle; upstream routers wrote them in place `hop_latency` cycles
   /// ago (that slot can never alias the writer's own current bank since
-  /// hop_latency % (hop_latency + 1) != 0). Lanes index [local * kNumDirs +
-  /// input port] with `local` the node's dense index within its tile.
+  /// hop_latency % (hop_latency + 1) != 0). Lanes index [(local <<
+  /// lanes_shift_) + input slot] with `local` the node's dense index within
+  /// its tile and lanes_shift_ the power-of-two ceiling of the topology's
+  /// input-slot bound (4 slots on 2D grids — the PR 4 layout, unchanged —
+  /// and 8 for the 6-slot 3D families).
   struct LatchBank {
     std::vector<FlitHeader*> hdr;     ///< [tile] -> header lane
     std::vector<FlitPayload*> pay;    ///< [tile] -> payload lane
@@ -124,6 +131,8 @@ class BlessFabric final : public Fabric {
   void rebuild_layout();
 
   BlessRouting routing_ NOCSIM_SHARED_READONLY;
+  int slot_bound_ NOCSIM_SHARED_READONLY = kNumDirs;  ///< input slots in use
+  int lanes_shift_ NOCSIM_SHARED_READONLY = 0;        ///< log2 of the latch lane stride
   /// Read-only after the ctor here, but the annotation table is name-keyed
   /// and BufferedFabric's nodes_ is genuinely tile-local mutable state.
   std::vector<NodeState> nodes_ NOCSIM_TILE_LOCAL;

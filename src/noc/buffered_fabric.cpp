@@ -7,25 +7,40 @@
 
 namespace nocsim {
 
-BufferedFabric::BufferedFabric(const Topology& topo, int router_latency, int link_latency)
-    : Fabric(topo, router_latency, link_latency),
+BufferedFabric::BufferedFabric(const Topology& topo, int router_latency, int link_latency,
+                               NodeId table_cap)
+    : Fabric(topo, router_latency, link_latency, table_cap),
       nodes_(topo.num_nodes()),
       wheel_(static_cast<std::size_t>(hop_latency_) + 1),
       credit_wheel_(2),
       work_words_(word_count(topo.num_nodes()), 0) {
-  torus_ = (topo.name() == "torus");
-  // Dateline detection identifies the wrap link by its coordinate jump,
-  // which is only distinct from a regular link when each ring has >= 3
-  // nodes (a 2-ring's "wrap" is indistinguishable and redundant anyway).
-  NOCSIM_CHECK_MSG(!torus_ || (topo.width() >= 3 && topo.height() >= 3),
-                   "buffered torus requires side >= 3");
+  vc_classes_ = topo.has_wrap();
   for (NodeId n = 0; n < topo.num_nodes(); ++n) {
     auto& st = nodes_[n];
     for (int d = 0; d < kNumDirs; ++d) {
-      st.nbr[d] = topo.neighbor(n, static_cast<Dir>(d));
+      const Topology::Link& l = topo.link(n, d);
+      st.nbr[d] = l.to;
+      st.dst_slot[d] = l.in_slot;
+      st.link_dim[d] = l.dim;
+      if (l.wrap) st.wrap_mask |= static_cast<std::uint8_t>(1u << d);
       for (int v = 0; v < kVcs; ++v)
         st.credits[d][v] = (st.nbr[d] != kInvalidNode) ? kVcDepth : 0;
     }
+    for (int s = 0; s < kNumDirs; ++s) {
+      const Topology::InLink& il = topo.in_link(n, s);
+      st.up_node[s] = il.from;
+      st.up_port[s] = il.from_port;
+    }
+  }
+  // Grid families are deadlock-free by construction (dimension order +
+  // dateline classes); an arbitrary graph's routing tree is not — assert
+  // the channel-dependency graph of the tables is acyclic before routing
+  // a single flit over them.
+  if (topo.kind() == Topology::Kind::Irregular) {
+    const RouteTables tables = build_route_tables(topo);
+    NOCSIM_CHECK_MSG(check_cdg_acyclic(topo, tables),
+                     "irregular topology: routing tables form a cyclic channel "
+                     "dependency graph (wormhole deadlock possible)");
   }
 }
 
@@ -33,21 +48,20 @@ int BufferedFabric::route_port(NodeId n, NodeId dst) const {
   if (n == dst) return static_cast<int>(Dir::Local);
   const RoutePreference pref = route_pref(n, dst);
   NOCSIM_DCHECK(pref.count > 0);
-  return static_cast<int>(pref.dirs[0]);  // strict XY: x offset consumed first
+  return static_cast<int>(pref.dirs[0]);  // deterministic: first preferred port
 }
 
 std::uint8_t BufferedFabric::next_vc_state(NodeId n, int op, std::uint8_t vc_state) const {
-  if (!torus_ || op == static_cast<int>(Dir::Local)) return vc_state;
+  if (!vc_classes_ || op == static_cast<int>(Dir::Local)) return vc_state;
+  const auto& st = nodes_[n];
   std::uint8_t state = vc_state;
-  const auto dir = static_cast<Dir>(op);
-  const bool y_dim = (dir == Dir::North || dir == Dir::South);
-  if (y_dim && !(state & 2)) state = 2;  // entering the y phase: class resets to 0
-  // Crossing the ring's wrap link (coordinate jump > 1) moves the packet to
-  // dateline class 1 for the remainder of this dimension.
-  const Coord here = topo_.coord_of(n);
-  const Coord there = topo_.coord_of(topo_.neighbor(n, dir));
-  const int delta = y_dim ? std::abs(here.y - there.y) : std::abs(here.x - there.x);
-  if (delta > 1) state |= 1;
+  // Entering a new routing dimension resets the dateline class to 0;
+  // crossing the ring's wrap link moves the packet to class 1 for the
+  // remainder of this dimension. Must mirror next_state in
+  // route_tables.cpp exactly (the CDG checker models this transform).
+  const std::uint8_t dim = st.link_dim[static_cast<std::size_t>(op)];
+  if ((state >> 1) != dim) state = static_cast<std::uint8_t>(dim << 1);
+  if (st.wrap_mask & (1u << op)) state |= 1;
   return state;
 }
 
@@ -377,9 +391,9 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
   // (injection) FIFOs have no credits: can_accept() inspects them directly.
   const auto return_credit = [&](int in_port, int vc) {
     if (in_port == static_cast<int>(Dir::Local)) return;
-    const NodeId upstream = st.nbr[in_port];
+    const NodeId upstream = st.up_node[static_cast<std::size_t>(in_port)];
     NOCSIM_DCHECK(upstream != kInvalidNode);
-    const auto up_dir = static_cast<std::uint8_t>(opposite(static_cast<Dir>(in_port)));
+    const std::uint8_t up_dir = st.up_port[static_cast<std::size_t>(in_port)];
     const CreditReturn cr{upstream, up_dir, static_cast<std::uint8_t>(vc)};
     if constexpr (Sharded) {
       TileLinks& tl = tile_links_[static_cast<std::size_t>(tile)];
@@ -434,7 +448,7 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
     if (is_head && !vcs.alloc_valid) {
       if (vc_alloc_done[op]) continue;  // one VC allocation per output per cycle
       int v_lo = 0, v_hi = kVcs;
-      if (torus_) {
+      if (vc_classes_) {
         const int cls = vc_class_of(next_vc_state(n, op, h.vc_state));
         v_lo = cls * (kVcs / 2);
         v_hi = v_lo + kVcs / 2;
@@ -470,9 +484,8 @@ void BufferedFabric::route_node(Cycle now, NodeId n, int tile) {
     if (node_marks(n)) mh.congested_bit = true;
     const bool is_tail = (h.flit_idx + 1 == p.packet_len);
     const NodeId next = st.nbr[op];
-    NOCSIM_CHECK_MSG(next != kInvalidNode, "XY routing chose a missing link");
-    const LinkArrival arr{mh, p, next,
-                          static_cast<std::uint8_t>(opposite(static_cast<Dir>(op))),
+    NOCSIM_CHECK_MSG(next != kInvalidNode, "routing chose a missing link");
+    const LinkArrival arr{mh, p, next, st.dst_slot[static_cast<std::size_t>(op)],
                           static_cast<std::uint8_t>(ovc)};
     if constexpr (Sharded) {
       ++ts->buffer_reads;

@@ -9,11 +9,14 @@
 // deterministic XY, which together with per-packet VC exclusivity makes the
 // mesh deadlock-free.
 //
-// On a torus, wraparound links close cyclic channel dependencies; the
-// classic dateline scheme restores deadlock freedom: the 4 VCs split into
-// two classes (VCs 0-1 and 2-3); a packet starts each routing dimension in
-// class 0 and is forced into class 1 after traversing that dimension's wrap
-// link, so no packet can complete a cycle within one class.
+// On a torus (2D or 3D), wraparound links close cyclic channel
+// dependencies; the classic dateline scheme restores deadlock freedom: the
+// 4 VCs split into two classes (VCs 0-1 and 2-3); a packet starts each
+// routing dimension in class 0 and is forced into class 1 after traversing
+// that dimension's wrap link (per-link `wrap` flags from the topology
+// graph), so no packet can complete a cycle within one class. Irregular
+// graphs carry no wrap links; their tables' channel-dependency graph is
+// checked acyclic at construction instead (topology/route_tables.hpp).
 //
 // Arbitration is Oldest-First everywhere (matching the bufferless baseline's
 // age policy): one flit per input port and per output port per cycle.
@@ -32,9 +35,10 @@ class BufferedFabric final : public Fabric {
  public:
   static constexpr int kVcs = 4;
   static constexpr int kVcDepth = 4;
-  static constexpr int kInPorts = kNumPorts;  // 4 neighbours + Local
+  static constexpr int kInPorts = kNumPorts;  // up to 6 input slots + Local
 
-  BufferedFabric(const Topology& topo, int router_latency = 2, int link_latency = 1);
+  BufferedFabric(const Topology& topo, int router_latency = 2, int link_latency = 1,
+                 NodeId table_cap = kRouteTableMaxNodes);
 
   void begin_cycle(Cycle now) override;
   [[nodiscard]] bool can_accept(NodeId n) const override;
@@ -108,13 +112,22 @@ class BufferedFabric final : public Fabric {
   };
 
   struct NodeState {
-    // in_vc[port][vc]
+    // in_vc[input slot][vc]; slot kNumDirs (== Dir::Local) is injection.
     std::array<std::array<VcState, kVcs>, kInPorts> in_vc;
-    // credits[output dir][vc]: free slots in the downstream input FIFO.
+    // credits[output port][vc]: free slots in the downstream input FIFO.
     std::array<std::array<std::uint8_t, kVcs>, kNumDirs> credits{};
-    // out_vc_busy[output dir][vc]: an upstream packet holds this downstream VC.
+    // out_vc_busy[output port][vc]: an upstream packet holds this downstream VC.
     std::array<std::array<bool, kVcs>, kNumDirs> out_vc_busy{};
     std::array<NodeId, kNumDirs> nbr{};
+    // Input latch slot this output port's link lands in downstream, and the
+    // link's routing dimension (dateline transform input).
+    std::array<std::uint8_t, kNumDirs> dst_slot{};
+    std::array<std::uint8_t, kNumDirs> link_dim{};
+    std::uint8_t wrap_mask = 0;  ///< bit per output port: dateline link
+    // Reverse map per input slot: the upstream router and its output port
+    // (credit returns; replaces the grid-only opposite(dir) convention).
+    std::array<NodeId, kNumDirs> up_node{};
+    std::array<std::uint8_t, kNumDirs> up_port{};
     std::uint32_t flits_buffered = 0;
     // Injection wormhole state: mid-packet flits must use the same VC.
     bool inj_alloc_valid = false;
@@ -135,15 +148,18 @@ class BufferedFabric final : public Fabric {
     std::uint8_t vc;
   };
 
-  /// Output port for a flit at node n (Local when dst == n). XY routing.
+  /// Output port for a flit at node n (Local when dst == n). Deterministic
+  /// dimension-order / table routing (dirs[0] of the route preference).
   [[nodiscard]] int route_port(NodeId n, NodeId dst) const;
 
-  /// Dateline bookkeeping (torus): the vc_state the flit will carry on the
-  /// link out of port `op` at node `n`. Identity on a mesh.
+  /// Dateline bookkeeping (torus families): the vc_state the flit will
+  /// carry on the link out of port `op` at node `n` — state = dim << 1 |
+  /// crossed-dateline, reset when the routing dimension changes. Identity
+  /// on wrap-free topologies.
   [[nodiscard]] std::uint8_t next_vc_state(NodeId n, int op, std::uint8_t vc_state) const;
 
   /// VC class (0 or 1) implied by a vc_state; class c may use VCs
-  /// [c*2, c*2+1] on a torus, any VC on a mesh.
+  /// [c*2, c*2+1] on a torus, any VC on a wrap-free topology.
   [[nodiscard]] static int vc_class_of(std::uint8_t vc_state) { return vc_state & 1; }
 
   template <bool Sharded>
@@ -174,7 +190,8 @@ class BufferedFabric final : public Fabric {
     std::vector<CredBox> out_cred;                    ///< [dst tile]
   };
 
-  bool torus_ NOCSIM_SHARED_READONLY = false;
+  /// Dateline VC classes active (any wrap link present — torus families).
+  bool vc_classes_ NOCSIM_SHARED_READONLY = false;
 
   std::vector<NodeState> nodes_ NOCSIM_TILE_LOCAL;  ///< FIFOs/credits, per node
   /// Serial-path wheels; the sharded path uses tile_links_ instead, so these

@@ -28,6 +28,7 @@
 #include "common/types.hpp"
 #include "noc/flit.hpp"
 #include "noc/trace_sink.hpp"
+#include "topology/route_tables.hpp"
 #include "topology/topology.hpp"
 
 namespace nocsim {
@@ -81,7 +82,12 @@ class Fabric {
   /// Called once per ejected flit, during step().
   using EjectSink = std::function<void(NodeId at, const Flit&)>;
 
-  Fabric(const Topology& topo, int router_latency, int link_latency)
+  /// Default node-count cap for precomputed route/distance tables (16x16,
+  /// 192 KiB); SimConfig::route_table_max_nodes raises it per run.
+  static constexpr NodeId kRouteTableMaxNodes = 256;
+
+  Fabric(const Topology& topo, int router_latency, int link_latency,
+         NodeId table_cap = kRouteTableMaxNodes)
       : topo_(topo),
         hop_latency_(router_latency + link_latency),
         pending_inject_(topo.num_nodes()),
@@ -89,43 +95,47 @@ class Fabric {
         node_deflections_(static_cast<std::size_t>(topo.num_nodes()), 0) {
     NOCSIM_CHECK(router_latency >= 1 && link_latency >= 1);
     // Flatten routing into per-(src, dst) tables when they fit: one packed
-    // byte (count + two ports) and one uint16 distance per pair, N^2 entries.
-    // Capped at 16x16 (192 KiB of tables); larger meshes keep the computed
-    // (virtual) path, whose cost amortizes over their bigger per-cycle work.
-    if (topo.num_nodes() <= kRouteTableMaxNodes) {
-      const NodeId n = topo.num_nodes();
-      const auto nn = static_cast<std::size_t>(n);
-      route_tab_.resize(nn * nn);
-      dist_tab_.resize(nn * nn);
-      for (NodeId from = 0; from < n; ++from) {
-        for (NodeId to = 0; to < n; ++to) {
-          const RoutePreference p = topo.route_preference(from, to);
-          const std::size_t i = static_cast<std::size_t>(from) * nn + static_cast<std::size_t>(to);
-          route_tab_[i] = static_cast<std::uint8_t>(
-              (p.count & 3) | (static_cast<int>(p.dirs[0]) << 2) |
-              (static_cast<int>(p.dirs[1]) << 5));
-          dist_tab_[i] = static_cast<std::uint16_t>(topo.distance(from, to));
-        }
-      }
+    // byte (count + two ports) and one uint16 distance per pair, N^2 entries,
+    // Dijkstra-built once here — never in the cycle loop. Above the cap,
+    // grid families fall back to the analytic coordinate path; irregular
+    // graphs have no analytic form and must fit the (config-raisable) cap.
+    if (topo.num_nodes() <= table_cap) {
+      RouteTables t = build_route_tables(topo);
+      route_tab_ = std::move(t.packed);
+      dist_tab_ = std::move(t.hops);
     } else {
       // Above the table cap, avoid the virtual route_preference/distance
       // calls (once per flit per hop / per delivered flit) by recognizing
-      // the two concrete topologies and computing XY preferences inline.
-      // Cached coordinate lanes replace the per-call division by width.
-      const std::string name = topo.name();
-      if (name == "mesh") {
-        analytic_ = TopoKind::Mesh;
-      } else if (name == "torus") {
-        analytic_ = TopoKind::Torus;
+      // the concrete grid families and computing dimension-order
+      // preferences inline. Cached coordinate lanes replace the per-call
+      // division by width.
+      switch (topo.kind()) {
+        case Topology::Kind::Mesh:
+        case Topology::Kind::CMesh:  // router graph is a plain mesh
+          analytic_ = TopoKind::Mesh;
+          break;
+        case Topology::Kind::Torus:
+          analytic_ = TopoKind::Torus;
+          break;
+        case Topology::Kind::Mesh3D:
+          analytic_ = TopoKind::Mesh3D;
+          break;
+        case Topology::Kind::Torus3D:
+          analytic_ = TopoKind::Torus3D;
+          break;
+        case Topology::Kind::Irregular:
+          NOCSIM_CHECK_MSG(false,
+                           "irregular topology exceeds route_table_max_nodes "
+                           "(raise the cap; irregular graphs have no analytic route)");
       }
-      if (analytic_ != TopoKind::Generic) {
-        coord_x_.resize(static_cast<std::size_t>(topo.num_nodes()));
-        coord_y_.resize(static_cast<std::size_t>(topo.num_nodes()));
-        for (NodeId n = 0; n < topo.num_nodes(); ++n) {
-          const Coord c = topo.coord_of(n);
-          coord_x_[static_cast<std::size_t>(n)] = static_cast<std::int16_t>(c.x);
-          coord_y_[static_cast<std::size_t>(n)] = static_cast<std::int16_t>(c.y);
-        }
+      coord_x_.resize(static_cast<std::size_t>(topo.num_nodes()));
+      coord_y_.resize(static_cast<std::size_t>(topo.num_nodes()));
+      coord_z_.resize(static_cast<std::size_t>(topo.num_nodes()));
+      for (NodeId n = 0; n < topo.num_nodes(); ++n) {
+        const Coord c = topo.coord_of(n);
+        coord_x_[static_cast<std::size_t>(n)] = static_cast<std::int16_t>(c.x);
+        coord_y_[static_cast<std::size_t>(n)] = static_cast<std::int16_t>(c.y);
+        coord_z_[static_cast<std::size_t>(n)] = static_cast<std::int16_t>(c.z);
       }
     }
   }
@@ -301,11 +311,10 @@ class Fabric {
   void set_marks_flits(NodeId n, bool marking) { marking_.at(n) = marking; }
 
  protected:
-  /// Largest node count whose route/distance tables are precomputed (16x16).
-  static constexpr NodeId kRouteTableMaxNodes = 256;
-
-  /// Concrete topology recognized for the analytic routing fast path.
-  enum class TopoKind : std::uint8_t { Generic, Mesh, Torus };
+  /// Concrete grid family recognized for the analytic routing fast path
+  /// (used only above the route-table cap; Generic never occurs there —
+  /// the ctor CHECKs that irregular graphs fit the tables).
+  enum class TopoKind : std::uint8_t { Generic, Mesh, Torus, Mesh3D, Torus3D };
 
   /// Signed shortest offset from `a` to `b` on a ring of size `n`, in
   /// (-n/2, n/2]; must mirror the helper in topology.cpp exactly.
@@ -325,8 +334,11 @@ class Fabric {
   }
 
   /// Table-accelerated Topology::route_preference, with an analytic inline
-  /// path for mesh/torus above kRouteTableMaxNodes (virtual fallback only
-  /// for unrecognized topologies). Hot: once per flit per hop.
+  /// path for grid families above the route-table cap (virtual fallback
+  /// only for unrecognized topologies). Hot: once per flit per hop. The
+  /// analytic forms reproduce the Dijkstra tables' pinned tie-breaks
+  /// exactly: dimension order x, y, z, with two preferred dirs at most;
+  /// torus ring ties go to the positive direction.
   [[nodiscard]] RoutePreference route_pref(NodeId from, NodeId to) const {
     if (!route_tab_.empty()) {
       const std::uint8_t p =
@@ -339,29 +351,35 @@ class Fabric {
       return r;
     }
     if (analytic_ != TopoKind::Generic) {
+      const bool wrap = analytic_ == TopoKind::Torus || analytic_ == TopoKind::Torus3D;
+      const bool three_d = analytic_ == TopoKind::Mesh3D || analytic_ == TopoKind::Torus3D;
+      RoutePreference pref;
+      const auto add = [&pref](int off, Dir pos, Dir neg) {
+        if (off != 0 && pref.count < 2) pref.dirs[pref.count++] = (off > 0) ? pos : neg;
+      };
       const int fx = coord_x_[static_cast<std::size_t>(from)];
       const int fy = coord_y_[static_cast<std::size_t>(from)];
       const int tx = coord_x_[static_cast<std::size_t>(to)];
       const int ty = coord_y_[static_cast<std::size_t>(to)];
-      RoutePreference pref;
-      if (analytic_ == TopoKind::Mesh) {
-        // Mirrors Mesh::route_preference: x offset first, then y.
-        if (fx != tx) pref.dirs[pref.count++] = (tx > fx) ? Dir::East : Dir::West;
-        if (fy != ty) pref.dirs[pref.count++] = (ty > fy) ? Dir::South : Dir::North;
+      if (wrap) {
+        // Shorter way around each ring, ties toward the positive direction.
+        add(ring_offset(fx, tx, topo_.width()), Dir::East, Dir::West);
+        add(ring_offset(fy, ty, topo_.height()), Dir::South, Dir::North);
       } else {
-        // Mirrors Torus::route_preference: shorter way around each ring,
-        // ties toward the positive direction.
-        const int dx = ring_offset(fx, tx, topo_.width());
-        const int dy = ring_offset(fy, ty, topo_.height());
-        if (dx != 0) pref.dirs[pref.count++] = (dx > 0) ? Dir::East : Dir::West;
-        if (dy != 0) pref.dirs[pref.count++] = (dy > 0) ? Dir::South : Dir::North;
+        add(tx - fx, Dir::East, Dir::West);
+        add(ty - fy, Dir::South, Dir::North);
+      }
+      if (three_d) {
+        const int fz = coord_z_[static_cast<std::size_t>(from)];
+        const int tz = coord_z_[static_cast<std::size_t>(to)];
+        add(wrap ? ring_offset(fz, tz, topo_.depth()) : tz - fz, Dir::Down, Dir::Up);
       }
       return pref;
     }
     return topo_.route_preference(from, to);
   }
 
-  /// Table-accelerated Topology::distance, analytic for mesh/torus above
+  /// Table-accelerated Topology::distance, analytic for grid families above
   /// the table cap; hot: once per delivered flit.
   [[nodiscard]] int hop_distance(NodeId a, NodeId b) const {
     if (!dist_tab_.empty()) {
@@ -369,15 +387,21 @@ class Fabric {
                        static_cast<std::size_t>(b)];
     }
     if (analytic_ != TopoKind::Generic) {
+      const bool wrap = analytic_ == TopoKind::Torus || analytic_ == TopoKind::Torus3D;
+      const bool three_d = analytic_ == TopoKind::Mesh3D || analytic_ == TopoKind::Torus3D;
       const int ax = coord_x_[static_cast<std::size_t>(a)];
       const int ay = coord_y_[static_cast<std::size_t>(a)];
       const int bx = coord_x_[static_cast<std::size_t>(b)];
       const int by = coord_y_[static_cast<std::size_t>(b)];
-      if (analytic_ == TopoKind::Mesh) {
-        return std::abs(ax - bx) + std::abs(ay - by);
+      int d = wrap ? std::abs(ring_offset(ax, bx, topo_.width())) +
+                         std::abs(ring_offset(ay, by, topo_.height()))
+                   : std::abs(ax - bx) + std::abs(ay - by);
+      if (three_d) {
+        const int az = coord_z_[static_cast<std::size_t>(a)];
+        const int bz = coord_z_[static_cast<std::size_t>(b)];
+        d += wrap ? std::abs(ring_offset(az, bz, topo_.depth())) : std::abs(az - bz);
       }
-      return std::abs(ring_offset(ax, bx, topo_.width())) +
-             std::abs(ring_offset(ay, by, topo_.height()));
+      return d;
     }
     return topo_.distance(a, b);
   }
@@ -459,6 +483,7 @@ class Fabric {
   TopoKind analytic_ NOCSIM_SHARED_READONLY = TopoKind::Generic;
   std::vector<std::int16_t> coord_x_ NOCSIM_SHARED_READONLY;  ///< analytic coord lanes
   std::vector<std::int16_t> coord_y_ NOCSIM_SHARED_READONLY;
+  std::vector<std::int16_t> coord_z_ NOCSIM_SHARED_READONLY;
   FabricStats stats_ NOCSIM_SHARED_READONLY;
   EjectSink sink_ NOCSIM_SHARED_READONLY;
   FlitEventSink* trace_ NOCSIM_SHARED_READONLY = nullptr;  ///< null = tracing off

@@ -56,6 +56,11 @@ static_assert(sizeof(FlitHeader) <= 20, "FlitHeader grew: arbitration streams th
 /// counters. Never consulted by route selection or age arbitration.
 struct FlitPayload {
   Addr addr = 0;                    ///< block address (Requests/Responses)
+  /// The core the packet serves: the requesting core for a Request and for
+  /// the Response that fills it (kInvalidNode for Control). On concentrated
+  /// topologies several cores share src/dst routers, so delivery and flit
+  /// attribution key on this instead of the router ids.
+  NodeId origin = kInvalidNode;
   std::uint32_t enqueue_cycle = 0;  ///< when the flit entered the NI queue
   std::uint16_t hops = 0;           ///< links traversed so far
   std::uint16_t deflections = 0;    ///< times misrouted (BLESS only)
@@ -71,6 +76,7 @@ struct Flit {
   Addr addr = 0;                   ///< block address (Requests/Responses)
   NodeId src = kInvalidNode;       ///< injecting node
   NodeId dst = kInvalidNode;       ///< destination node
+  NodeId origin = kInvalidNode;    ///< see FlitPayload::origin
   std::uint32_t packet = 0;        ///< per-source packet sequence number
   std::uint32_t enqueue_cycle = 0; ///< when the flit entered the NI queue
   std::uint32_t inject_cycle = 0;  ///< when it entered the network (age basis)
@@ -83,7 +89,7 @@ struct Flit {
 
   bool congested_bit = false;      ///< see FlitHeader::congested_bit
 };
-static_assert(sizeof(Flit) <= 40, "Flit grew: check the fabric hot-path cost");
+static_assert(sizeof(Flit) <= 48, "Flit grew: check the fabric hot-path cost");
 
 /// Lossless split/assemble between the boundary view and the SoA lanes.
 constexpr FlitHeader header_of(const Flit& f) {
@@ -91,12 +97,13 @@ constexpr FlitHeader header_of(const Flit& f) {
 }
 
 constexpr FlitPayload payload_of(const Flit& f) {
-  return {f.addr, f.enqueue_cycle, f.hops, f.deflections, f.packet_len, f.kind};
+  return {f.addr, f.origin, f.enqueue_cycle, f.hops, f.deflections, f.packet_len, f.kind};
 }
 
 constexpr Flit assemble_flit(const FlitHeader& h, const FlitPayload& p) {
   Flit f;
   f.addr = p.addr;
+  f.origin = p.origin;
   f.src = h.src;
   f.dst = h.dst;
   f.packet = h.packet;

@@ -20,6 +20,7 @@
 #include "core/controller.hpp"
 #include "core/distributed.hpp"
 #include "cpu/core.hpp"
+#include "topology/topology.hpp"
 
 namespace nocsim {
 
@@ -30,12 +31,20 @@ struct SimConfig {
   // Network.
   int width = 4;
   int height = 4;
-  std::string topology = "mesh";  ///< mesh | torus
+  int depth = 1;  ///< z extent (mesh3d / torus3d; must be 1 for 2D families)
+  std::string topology = "mesh";  ///< mesh | torus | mesh3d | torus3d | cmesh | irregular
+  /// Graph file for topology == "irregular" (see IrregularTopology); its
+  /// node count must equal width * height * depth.
+  std::string topology_file;
   RouterKind router = RouterKind::Bless;
   /// BLESS port preference (paper baseline: strict XY; see bench/abl_routing).
   bool adaptive_routing = false;
   int router_latency = 2;
   int link_latency = 1;
+  /// Largest node count whose flat route/distance tables are precomputed;
+  /// grids above it use the analytic coordinate path, irregular graphs must
+  /// fit (the fabric CHECKs). 256 = 16x16, 192 KiB of tables.
+  NodeId route_table_max_nodes = 256;
 
   // Cores (Table 2).
   CoreParams core;
@@ -112,7 +121,13 @@ struct SimConfig {
   /// Record per-epoch IPF samples (Table 1 variance measurement).
   bool record_epoch_ipf = false;
 
-  [[nodiscard]] int num_nodes() const { return width * height; }
+  /// Routers in the fabric.
+  [[nodiscard]] int num_nodes() const { return width * height * depth; }
+  /// Cores attached to the fabric ("cmesh" fans kConcentration cores into
+  /// each router's NI; every other family has one core per router).
+  [[nodiscard]] int num_cores() const {
+    return num_nodes() * (topology == "cmesh" ? CMesh::kConcentration : 1);
+  }
 };
 
 }  // namespace nocsim

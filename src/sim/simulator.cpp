@@ -22,23 +22,29 @@ std::uint64_t splitmix_of(std::uint64_t seed, std::uint64_t stream) {
 Simulator::Simulator(SimConfig config, WorkloadSpec workload)
     : config_(std::move(config)), workload_(std::move(workload)) {
   const int n = config_.num_nodes();
-  NOCSIM_CHECK_MSG(static_cast<int>(workload_.app_names.size()) == n,
-                   "workload must name one app per node (\"\" for idle)");
+  const int ncores = config_.num_cores();
+  NOCSIM_CHECK_MSG(static_cast<int>(workload_.app_names.size()) == ncores,
+                   "workload must name one app per core (\"\" for idle)");
   NOCSIM_CHECK(config_.request_flits >= 1 && config_.response_flits >= 1);
   NOCSIM_CHECK(config_.l2_latency >= 1);
 
-  topo_ = make_topology(config_.topology, config_.width, config_.height);
+  topo_ = make_topology(TopologySpec{config_.topology, config_.width, config_.height,
+                                     config_.depth, config_.topology_file});
+  conc_ = topo_->concentration();
+  NOCSIM_CHECK(topo_->num_cores() == ncores);
   switch (config_.router) {
     case RouterKind::Bless:
       fabric_ = std::make_unique<BlessFabric>(*topo_, config_.router_latency,
                                               config_.link_latency,
                                               config_.adaptive_routing
                                                   ? BlessRouting::MinimalAdaptive
-                                                  : BlessRouting::StrictXY);
+                                                  : BlessRouting::StrictXY,
+                                              config_.route_table_max_nodes);
       break;
     case RouterKind::Buffered:
       fabric_ = std::make_unique<BufferedFabric>(*topo_, config_.router_latency,
-                                                 config_.link_latency);
+                                                 config_.link_latency,
+                                                 config_.route_table_max_nodes);
       break;
   }
   fabric_->set_eject_sink([this](NodeId at, const Flit& f) { on_flit_ejected(at, f); });
@@ -68,8 +74,6 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
       break;
   }
 
-  cores_.resize(n);
-  node_class_.assign(static_cast<std::size_t>(n), -1);
   nis_.reserve(n);
   for (NodeId i = 0; i < n; ++i) {
     nis_.emplace_back([this, i](const Flit& header, Cycle) { on_packet(i, header); });
@@ -77,6 +81,11 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
         config_.randomized_throttle_gate ? InjectionThrottler::Gate::Randomized
                                          : InjectionThrottler::Gate::Deterministic,
         splitmix_of(config_.seed, static_cast<std::uint64_t>(i)));
+  }
+
+  cores_.resize(ncores);
+  node_class_.assign(static_cast<std::size_t>(ncores), -1);
+  for (NodeId i = 0; i < ncores; ++i) {
     const std::string& app = workload_.app_names[i];
     if (app.empty()) continue;
     // A workload entry is either a catalog application name or
@@ -101,9 +110,9 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
   }
 
   ni_work_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
-  core_work_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
-  core_synced_.assign(static_cast<std::size_t>(n), 0);
-  for (NodeId i = 0; i < n; ++i) {
+  core_work_.assign((static_cast<std::size_t>(ncores) + 63) / 64, 0);
+  core_synced_.assign(static_cast<std::size_t>(ncores), 0);
+  for (NodeId i = 0; i < ncores; ++i) {
     if (cores_[i]) {
       core_work_[static_cast<std::size_t>(i) >> 6] |= std::uint64_t{1} << (i & 63);
     }
@@ -123,10 +132,17 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
   // Distributed CC pulls a coordinator rate into every NI every cycle and
   // scans all nodes; it stays on the serial path.
   if ((config_.shards > 1 || config_.shard_dims.active()) && !distributed_) {
-    if (config_.shard_dims.active()) {
-      plan_.emplace(config_.width, config_.height, config_.shard_dims);
+    // The plan partitions ROUTERS. Grid families map to (width, height*depth)
+    // rows (z layers stack as extra rows); irregular graphs have no grid to
+    // tile, so they shard as contiguous node-id strips of a 1-wide column.
+    if (topo_->kind() == Topology::Kind::Irregular) {
+      NOCSIM_CHECK_MSG(!config_.shard_dims.active(),
+                       "irregular topology supports --shards row strips only");
+      plan_.emplace(1, n, config_.shards);
+    } else if (config_.shard_dims.active()) {
+      plan_.emplace(config_.width, config_.height * config_.depth, config_.shard_dims);
     } else {
-      plan_.emplace(config_.width, config_.height, config_.shards);
+      plan_.emplace(config_.width, config_.height * config_.depth, config_.shards);
     }
     if (plan_->tiles() > 1) {
       sharded_ = true;
@@ -134,6 +150,23 @@ Simulator::Simulator(SimConfig config, WorkloadSpec workload)
       tiles_.resize(static_cast<std::size_t>(plan_->tiles()));
       l2_cursor_.resize(static_cast<std::size_t>(plan_->tiles()));
       team_ = std::make_unique<ShardTeam>(plan_->tiles());
+      // Core-bitmap word masks per tile (the plan's masks cover routers).
+      const std::size_t cwords = core_work_.size();
+      const auto tiles = static_cast<std::size_t>(plan_->tiles());
+      core_masks_.assign(tiles, std::vector<std::uint64_t>(cwords, 0));
+      core_word_lo_.assign(tiles, cwords);
+      core_word_hi_.assign(tiles, 0);
+      for (NodeId c = 0; c < ncores; ++c) {
+        const auto t = static_cast<std::size_t>(plan_->tile_of(c / conc_));
+        core_masks_[t][static_cast<std::size_t>(c) >> 6] |= std::uint64_t{1} << (c & 63);
+      }
+      for (std::size_t t = 0; t < tiles; ++t) {
+        for (std::size_t w = 0; w < cwords; ++w) {
+          if (core_masks_[t][w] == 0) continue;
+          if (core_word_lo_[t] > w) core_word_lo_[t] = w;
+          core_word_hi_[t] = w + 1;
+        }
+      }
     } else {
       plan_.reset();  // one tile: nothing to split
     }
@@ -176,7 +209,8 @@ void Simulator::wake_ni(NodeId n, Cycle upto) {
 }
 
 void Simulator::wake_core(NodeId n) {
-  NOCSIM_SHARD_CHECK_WRITE(n, "core wake (wake_core)");
+  // n is a CORE id; ownership checks index the router-partitioned plan.
+  NOCSIM_SHARD_CHECK_WRITE(router_of(n), "core wake (wake_core)");
   const std::size_t w = static_cast<std::size_t>(n) >> 6;
   const std::uint64_t bit = std::uint64_t{1} << (n & 63);
   if (sharded_) {
@@ -194,11 +228,12 @@ void Simulator::wake_core(NodeId n) {
 }
 
 void Simulator::enqueue_packet(FlitRing& q, NodeId src, NodeId dst, PacketKind kind,
-                               Addr addr, int len, PacketSeq seq) {
+                               Addr addr, int len, PacketSeq seq, NodeId origin) {
   for (int i = 0; i < len; ++i) {
     Flit f;
     f.src = src;
     f.dst = dst;
+    f.origin = origin;
     f.kind = kind;
     f.addr = addr;
     f.packet = seq;
@@ -210,14 +245,16 @@ void Simulator::enqueue_packet(FlitRing& q, NodeId src, NodeId dst, PacketKind k
 }
 
 void Simulator::on_miss(NodeId n, Addr block) {
-  NOCSIM_SHARD_CHECK_WRITE(n, "miss bookkeeping (on_miss)");
-  const NodeId home = mapper_->home(n, block);
-  if (home == n) {
+  // n is a CORE id; the network sees its router (identical except cmesh).
+  const NodeId rtr = router_of(n);
+  NOCSIM_SHARD_CHECK_WRITE(rtr, "miss bookkeeping (on_miss)");
+  const NodeId home = mapper_->home(rtr, block);
+  if (home == rtr) {
     // Local slice: no network traversal, just the L2 service latency. Under
     // sharding this fires on a tile thread (core phase): buffer the push and
     // fold it into the wheel in ascending tile order from the serial finish.
     if (sharded_) {
-      tiles_[static_cast<std::size_t>(plan_->tile_of(n))].l2_core.push_back(
+      tiles_[static_cast<std::size_t>(plan_->tile_of(rtr))].l2_core.push_back(
           PendingL2{home, n, block});
     } else {
       l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()].push_back(
@@ -225,12 +262,12 @@ void Simulator::on_miss(NodeId n, Addr block) {
     }
     return;
   }
-  Ni& ni = nis_[n];
+  Ni& ni = nis_[rtr];
   // on_miss fires from the core step, after this cycle's injection loop: if
   // the NI was asleep, cycle now_ itself was still an idle (skipped) cycle.
-  wake_ni(n, now_ + 1);
-  enqueue_packet(ni.request_q, n, home, PacketKind::Request, block, config_.request_flits,
-                 ni.next_seq++);
+  wake_ni(rtr, now_ + 1);
+  enqueue_packet(ni.request_q, rtr, home, PacketKind::Request, block, config_.request_flits,
+                 ni.next_seq++, /*origin=*/n);
   // IPF flit attribution (§4): requests the app injects + responses
   // generated on its behalf. Attributed at creation time.
   const auto attributed =
@@ -259,11 +296,10 @@ void Simulator::on_flit_ejected(NodeId at, const Flit& f) {
   all->net.add(net);
   all->total.add(total);
   // Attribute to the app that owns the flit: a Request belongs to its
-  // source core, a Response to the core it fills. Control flits and flits
-  // of idle/file-trace nodes have no intensity class.
-  NodeId owner = kInvalidNode;
-  if (f.kind == PacketKind::Request) owner = f.src;
-  if (f.kind == PacketKind::Response) owner = f.dst;
+  // source core, a Response to the core it fills — both stamped as the
+  // flit's origin at enqueue (Control flits carry none). Flits of
+  // idle/file-trace cores have no intensity class.
+  const NodeId owner = f.origin;
   if (owner == kInvalidNode) return;
   const int c = node_class_[static_cast<std::size_t>(owner)];
   if (c < 0) return;
@@ -281,18 +317,22 @@ void Simulator::on_packet(NodeId at, const Flit& header) {
       NOCSIM_DCHECK(header.dst == at);
       if (sharded_) {
         tiles_[static_cast<std::size_t>(plan_->tile_of(at))].l2_route.push_back(
-            PendingL2{at, header.src, header.addr});
+            PendingL2{at, header.origin, header.addr});
       } else {
         l2_wheel_[(now_ + config_.l2_latency) % l2_wheel_.size()].push_back(
-            PendingL2{at, header.src, header.addr});
+            PendingL2{at, header.origin, header.addr});
       }
       break;
-    case PacketKind::Response:
-      NOCSIM_CHECK_MSG(cores_[at] != nullptr, "response delivered to an idle node");
-      wake_core(at);
-      cores_[at]->on_fill(header.addr, now_);
+    case PacketKind::Response: {
+      // The response ejects at the origin core's router; fill that core.
+      const NodeId core = header.origin;
+      NOCSIM_DCHECK(router_of(core) == at);
+      NOCSIM_CHECK_MSG(cores_[core] != nullptr, "response delivered to an idle core");
+      wake_core(core);
+      cores_[core]->on_fill(header.addr, now_);
       if (distributed_ && header.congested_bit) distributed_->on_marked_packet(at, now_);
       break;
+    }
     case PacketKind::Control:
       if (at != config_.controller_node) {
         // Rate-setting packet arrived: adopt the staged rate. Cycles up to
@@ -311,7 +351,7 @@ void Simulator::on_packet(NodeId at, const Flit& header) {
 void Simulator::deliver_l2(Cycle now) {
   auto& due = l2_wheel_[now % l2_wheel_.size()];
   for (const PendingL2& p : due) {
-    if (p.home == p.requester) {
+    if (p.home == router_of(p.requester)) {
       wake_core(p.requester);
       cores_[p.requester]->on_fill(p.block, now);
       continue;
@@ -320,32 +360,35 @@ void Simulator::deliver_l2(Cycle now) {
     // deliver_l2 runs before this cycle's injection loop: the woken NI will
     // be processed for now_ itself, so replay only the cycles before it.
     wake_ni(p.home, now);
-    enqueue_packet(home_ni.response_q, p.home, p.requester, PacketKind::Response, p.block,
-                   config_.response_flits, home_ni.next_seq++);
+    enqueue_packet(home_ni.response_q, p.home, router_of(p.requester), PacketKind::Response,
+                   p.block, config_.response_flits, home_ni.next_seq++,
+                   /*origin=*/p.requester);
   }
   due.clear();
 }
 
 void Simulator::deliver_l2_shard(Cycle now, int tile) {
   // Every tile scans the full due list and services only its own home
-  // slices (for local fills home == requester, so one owner either way).
-  // The slot is cleared once, in the serial part of step_sharded — pushes
-  // made this cycle target a different slot (l2_latency % (l2_latency + 1)
-  // != 0), so the stale entries are never re-read.
+  // slices (for local fills home == the requester's router, so one owner
+  // either way). The slot is cleared once, in the serial part of
+  // step_sharded — pushes made this cycle target a different slot
+  // (l2_latency % (l2_latency + 1) != 0), so the stale entries are never
+  // re-read.
   NOCSIM_PHASE("deliver");
   const auto& due = l2_wheel_[now % l2_wheel_.size()];
   for (const PendingL2& p : due) {
     if (!plan_->owns(tile, p.home)) continue;
     NOCSIM_SHARD_CHECK_WRITE(p.home, "l2 delivery (deliver_l2_shard)");
-    if (p.home == p.requester) {
+    if (p.home == router_of(p.requester)) {
       wake_core(p.requester);
       cores_[p.requester]->on_fill(p.block, now);
       continue;
     }
     Ni& home_ni = nis_[p.home];
     wake_ni(p.home, now);
-    enqueue_packet(home_ni.response_q, p.home, p.requester, PacketKind::Response, p.block,
-                   config_.response_flits, home_ni.next_seq++);
+    enqueue_packet(home_ni.response_q, p.home, router_of(p.requester), PacketKind::Response,
+                   p.block, config_.response_flits, home_ni.next_seq++,
+                   /*origin=*/p.requester);
   }
 }
 
@@ -448,14 +491,23 @@ void Simulator::epoch_update() {
   for (NodeId i = 0; i < n; ++i) sync_ni(i, now_ + 1);
   for (NodeId i = 0; i < n; ++i) {
     Ni& ni = nis_[i];
-    const std::uint64_t retired = cores_[i] ? cores_[i]->epoch_retired() : 0;
-    if (cores_[i]) cores_[i]->reset_epoch();
+    // A router's IPF aggregates every core behind its NI (one core except
+    // on concentrated topologies).
+    std::uint64_t retired = 0;
+    bool any_core = false;
+    for (int k = 0; k < conc_; ++k) {
+      const NodeId c = i * conc_ + k;
+      if (!cores_[c]) continue;
+      any_core = true;
+      retired += cores_[c]->epoch_retired();
+      cores_[c]->reset_epoch();
+    }
     const double ipf = ni.epoch_flits
                            ? static_cast<double>(retired) / static_cast<double>(ni.epoch_flits)
                            : IpfTracker::kMaxIpf;
     telemetry_[i] = NodeTelemetry{ipf, ni.starvation.windowed_rate()};
     ni.epoch_flits = 0;
-    if (measuring_ && config_.record_epoch_ipf && cores_[i]) epoch_ipf_[i].push_back(ipf);
+    if (measuring_ && config_.record_epoch_ipf && any_core) epoch_ipf_[i].push_back(ipf);
     if (distributed_) distributed_->set_local_ipf(i, ipf);
   }
   if (distributed_) return;  // no central decision
@@ -485,9 +537,9 @@ void Simulator::epoch_update() {
     if (i == ctrl) continue;
     wake_ni(i, now_ + 1);  // already synced above; (re)arm the worklist bit
     enqueue_packet(nis_[i].response_q, i, ctrl, PacketKind::Control, 0, 1,
-                   nis_[i].next_seq++);
+                   nis_[i].next_seq++, kInvalidNode);
     enqueue_packet(nis_[ctrl].response_q, ctrl, i, PacketKind::Control, 0, 1,
-                   nis_[ctrl].next_seq++);
+                   nis_[ctrl].next_seq++, kInvalidNode);
   }
   wake_ni(ctrl, now_ + 1);
 }
@@ -664,13 +716,15 @@ void Simulator::step_sharded() {
     NOCSIM_PHASE("core", &*plan_, t);
     const std::uint64_t pt0 = prof_begin(prof_);
     // Tile-masked walk of the runnable-core worklist (see the serial loop).
-    // Sleep decisions clear only this tile's bits; boundary words are
-    // shared with neighbours, so the clear is an atomic RMW.
-    const std::size_t whi = plan_->word_hi(t);
-    for (std::size_t w = plan_->word_lo(t); w < whi; ++w) {
+    // The masks come from core_masks_, not the plan: the plan partitions
+    // routers and the core id space is conc_ times larger. Sleep decisions
+    // clear only this tile's bits; boundary words are shared with
+    // neighbours, so the clear is an atomic RMW.
+    const std::size_t whi = core_word_hi_[static_cast<std::size_t>(t)];
+    for (std::size_t w = core_word_lo_[static_cast<std::size_t>(t)]; w < whi; ++w) {
       std::uint64_t bits =
           std::atomic_ref<std::uint64_t>(core_work_[w]).load(std::memory_order_relaxed) &
-          plan_->word_mask(t, w);
+          core_masks_[static_cast<std::size_t>(t)][w];
       while (bits != 0) {
         const int b = std::countr_zero(bits);
         bits &= bits - 1;
@@ -798,7 +852,7 @@ void Simulator::begin_measurement() {
   fabric_->reset_stats();
   epoch_hops_at_last_ = 0;  // counters restarted with the stats
   epoch_min_hops_at_last_ = 0;
-  for (NodeId i = 0; i < config_.num_nodes(); ++i) {
+  for (NodeId i = 0; i < config_.num_cores(); ++i) {
     if (cores_[i]) {
       // A sleeping core's skipped window-full cycles are still uncredited;
       // flush them so the reset wipes exactly what eager stepping had.
@@ -809,6 +863,8 @@ void Simulator::begin_measurement() {
       }
       cores_[i]->reset_stats();
     }
+  }
+  for (NodeId i = 0; i < config_.num_nodes(); ++i) {
     nis_[i].starvation.reset_lifetime();
     nis_[i].starvation_net.reset_lifetime();
     nis_[i].measure_flits = 0;
@@ -834,8 +890,8 @@ SimResult Simulator::run() {
 SimResult Simulator::collect(Cycle measured_cycles) {
   // Flush the tail partial-epoch sample so the profile covers every cycle.
   if (prof_ != nullptr) prof_->tick(now_);
-  for (NodeId i = 0; i < config_.num_nodes(); ++i) {
-    sync_ni(i, now_);
+  for (NodeId i = 0; i < config_.num_nodes(); ++i) sync_ni(i, now_);
+  for (NodeId i = 0; i < config_.num_cores(); ++i) {
     // Credit sleeping cores' skipped cycles so CoreStats are exact.
     if (cores_[i] && (core_work_[static_cast<std::size_t>(i) >> 6] &
                       (std::uint64_t{1} << (i & 63))) == 0) {
@@ -858,10 +914,12 @@ SimResult Simulator::collect(Cycle measured_cycles) {
   double starv_sum = 0.0;
   double starv_net_sum = 0.0;
   int active = 0;
-  for (NodeId i = 0; i < config_.num_nodes(); ++i) {
+  // One NodeResult per CORE; NI-derived fields come from the core's router
+  // (shared across a concentrated router's cores).
+  for (NodeId i = 0; i < config_.num_cores(); ++i) {
     NodeResult nr;
     nr.app = workload_.app_names[i];
-    const Ni& ni = nis_[i];
+    const Ni& ni = nis_[router_of(i)];
     if (cores_[i]) {
       const CoreStats& cs = cores_[i]->stats();
       nr.retired = cs.retired;
@@ -878,7 +936,7 @@ SimResult Simulator::collect(Cycle measured_cycles) {
     nr.starvation = ni.starvation.lifetime_rate();
     nr.starvation_network = ni.starvation_net.lifetime_rate();
     nr.mean_throttle_rate = ni.rate_integral / cycles_d;
-    nr.epoch_ipf = epoch_ipf_[i];
+    nr.epoch_ipf = epoch_ipf_[router_of(i)];
     result.nodes.push_back(std::move(nr));
   }
   result.avg_starvation = active ? starv_sum / active : 0.0;
@@ -969,9 +1027,19 @@ void Simulator::attach_telemetry(TelemetryHub* hub) {
                       [this, i] { return fabric_->node_deflections(i); });
     hub_->add_counter(p + "blocked",
                       [this, i] { return nis_[i].throttler.blocked_attempts(); });
-    if (cores_[i] != nullptr) {
-      hub_->add_counter(p + "retired",
-                        [this, i] { return cores_[i]->lifetime_retired(); });
+    // Retirement at router i sums every core behind its NI (one core except
+    // on concentrated topologies) so the column set is per router either way.
+    bool any_core = false;
+    for (int k = 0; k < conc_; ++k) any_core |= cores_[i * conc_ + k] != nullptr;
+    if (any_core) {
+      hub_->add_counter(p + "retired", [this, i] {
+        std::uint64_t sum = 0;
+        for (int k = 0; k < conc_; ++k) {
+          const NodeId c = i * conc_ + k;
+          if (cores_[c]) sum += cores_[c]->lifetime_retired();
+        }
+        return sum;
+      });
     }
   }
 }

@@ -79,8 +79,12 @@ class Simulator {
   /// Highest in-flight flit age seen at any watchdog check (0 until the
   /// watchdog runs). Deterministic: a pure function of (config, seed).
   [[nodiscard]] Cycle max_flit_age_watermark() const { return wd_max_age_; }
-  /// Current consecutive-blocked-injection streak of node n's NI.
+  /// Current consecutive-blocked-injection streak of router n's NI.
   [[nodiscard]] Cycle blocked_streak(NodeId n) const { return nis_[n].blocked_streak; }
+
+  /// Router whose NI serves core `c` (identity except on concentrated
+  /// topologies, where `concentration` cores share each router).
+  [[nodiscard]] NodeId router_of(NodeId c) const { return c / conc_; }
 
   /// Finer-grained control (tests): advance some cycles without the
   /// warmup/measure bookkeeping of run().
@@ -144,8 +148,11 @@ class Simulator {
   /// Tile t's slice of the injection worklist walk.
   void inject_tile(int tile);
   void ni_inject(NodeId n);
+  /// src/dst are routers; origin is the core the packet works for (equal to
+  /// src/dst except on concentrated topologies), stamped into every flit so
+  /// ejection can attribute it without a router->core guess.
   void enqueue_packet(FlitRing& q, NodeId src, NodeId dst, PacketKind kind, Addr addr,
-                      int len, PacketSeq seq);
+                      int len, PacketSeq seq, NodeId origin);
   /// Replay the idle cycles [synced_to, upto) of NI n: both queues were
   /// empty, so each skipped cycle recorded starvation=false on both monitors
   /// and (while measuring) accrued the unchanged throttle rate. Bit-exact
@@ -192,8 +199,12 @@ class Simulator {
   std::unique_ptr<CongestionController> controller_ NOCSIM_SHARED_READONLY;
   std::optional<DistributedCoordinator> distributed_ NOCSIM_SHARED_READONLY;
 
-  std::vector<std::unique_ptr<Core>> cores_ NOCSIM_TILE_LOCAL;  ///< null entry = idle node
-  std::vector<Ni> nis_ NOCSIM_TILE_LOCAL;
+  /// Cores attached to this router's NI (topology concentration; 1
+  /// everywhere except cmesh). Core id c maps to router c / conc_.
+  int conc_ NOCSIM_SHARED_READONLY = 1;
+
+  std::vector<std::unique_ptr<Core>> cores_ NOCSIM_TILE_LOCAL;  ///< per CORE; null = idle
+  std::vector<Ni> nis_ NOCSIM_TILE_LOCAL;  ///< per ROUTER
   /// Bitmap over NIs with a non-empty queue: the step() injection loop walks
   /// only these. Disabled (full scan) under distributed CC, whose per-cycle
   /// rate updates make every NI-cycle observable. Bits are set by wake_ni
@@ -226,6 +237,13 @@ class Simulator {
   };
   bool sharded_ NOCSIM_SHARED_READONLY = false;
   std::optional<ShardPlan> plan_ NOCSIM_SHARED_READONLY;
+  /// Per-tile word masks over the CORE bitmap (core_work_). The plan's own
+  /// masks cover routers; with concentration > 1 the core id space is conc_
+  /// times larger, so the sharded core phase walks these instead. Built once
+  /// at construction (tile of core c = plan tile of router c / conc_).
+  std::vector<std::vector<std::uint64_t>> core_masks_ NOCSIM_SHARED_READONLY;
+  std::vector<std::size_t> core_word_lo_ NOCSIM_SHARED_READONLY;
+  std::vector<std::size_t> core_word_hi_ NOCSIM_SHARED_READONLY;
   std::unique_ptr<ShardTeam> team_ NOCSIM_SHARED_READONLY;
   std::vector<SimTile> tiles_ NOCSIM_TILE_LOCAL;
   std::vector<std::size_t> l2_cursor_ NOCSIM_SHARED_READONLY;  ///< fold_l2 merge scratch
@@ -244,8 +262,8 @@ class Simulator {
   /// [node][epoch] when recorded
   std::vector<std::vector<double>> epoch_ipf_ NOCSIM_SHARED_READONLY;
 
-  // Telemetry (see attach_telemetry). node_class_ maps node -> intensity
-  // class index, -1 for idle and file-trace nodes.
+  // Telemetry (see attach_telemetry). node_class_ maps core -> intensity
+  // class index, -1 for idle and file-trace cores.
   TelemetryHub* hub_ NOCSIM_SHARED_READONLY = nullptr;
   Cycle hub_period_ NOCSIM_SHARED_READONLY = 0;
 

@@ -59,6 +59,20 @@ SimResult run_case(const std::string& name) {
     wl.category = "bursty-H";
     const char* apps[4] = {"matlab", "art.ref.train", "mcf2", "sphinx3"};
     for (int i = 0; i < 16; ++i) wl.app_names.push_back(apps[i % 4]);
+  } else if (name == "torus3d_8x8x2_bless" || name == "torus3d_8x8x2_buffered") {
+    // 3D torus with dateline wrap links in all three dimensions, at a size
+    // (128 routers) where the Dijkstra-built tables drive the fabric.
+    c.topology = "torus3d";
+    c.width = 8;
+    c.height = 8;
+    c.depth = 2;
+    c.seed = 4;
+    if (name == "torus3d_8x8x2_buffered") {
+      c.router = RouterKind::Buffered;
+      c.seed = 5;
+    }
+    Rng rng(31);
+    wl = make_category_workload("HM", 128, rng);
   } else {
     ADD_FAILURE() << "unknown golden case " << name;
   }
@@ -93,7 +107,12 @@ INSTANTIATE_TEST_SUITE_P(
                       // each 128-attempt wrap (Algorithm 3's "first rate*128
                       // attempts") — an intentional semantic change; the
                       // whole-wrap blocked fraction is unchanged.
-                      GoldenCase{"throttled_hotspot", 0x82cafa0e181d5d55ULL}),
+                      GoldenCase{"throttled_hotspot", 0x82cafa0e181d5d55ULL},
+                      // Captured when the Dijkstra route-table builder and the
+                      // 3D families were introduced; these pin the torus3d
+                      // tables (dateline wraps in x, y and z) on both routers.
+                      GoldenCase{"torus3d_8x8x2_bless", 0x2fdd6970c00a21f7ULL},
+                      GoldenCase{"torus3d_8x8x2_buffered", 0x17ffa0aec453891cULL}),
     [](const auto& inf) { return std::string(inf.param.name); });
 
 }  // namespace

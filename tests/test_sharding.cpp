@@ -143,6 +143,22 @@ SimConfig scenario_config(const std::string& name, WorkloadSpec& wl) {
     c.seed = 3;
     const char* apps[4] = {"matlab", "art.ref.train", "mcf2", "sphinx3"};
     for (int i = 0; i < 16; ++i) wl.app_names.push_back(apps[i % 4]);
+  } else if (name == "bless_mesh3d_4x4x2") {
+    // Two z layers: the shard plan treats them as extra rows (height*depth),
+    // so 7 shards split the 8 stacked rows unevenly and 2x2 tiles span both
+    // layers; Up/Down links ride the halo exchange.
+    c.topology = "mesh3d";
+    c.depth = 2;
+    c.seed = 6;
+    Rng rng(12);
+    wl = make_category_workload("HM", 32, rng);
+  } else if (name == "cmesh_4x4") {
+    // Concentration: 64 cores fan into 16 routers, so the core bitmap is
+    // 4x the router space and every NI serves four request streams.
+    c.topology = "cmesh";
+    c.seed = 8;
+    Rng rng(29);
+    wl = make_category_workload("HML", 64, rng);
   } else if (name == "central_cc_8x8") {
     // 8 rows / 7 shards is the maximally uneven strip split; control
     // packets ride the network as real traffic.
@@ -188,6 +204,8 @@ INSTANTIATE_TEST_SUITE_P(Scenarios, ShardedByteIdentity,
                          ::testing::Values(ShardScenario{"bless_4x4_hm"},
                                            ShardScenario{"buffered_4x4_hm"},
                                            ShardScenario{"buffered_torus_4x4"},
+                                           ShardScenario{"bless_mesh3d_4x4x2"},
+                                           ShardScenario{"cmesh_4x4"},
                                            ShardScenario{"throttled_static_4x4"},
                                            ShardScenario{"central_cc_8x8"}),
                          [](const auto& inf) { return std::string(inf.param.name); });

@@ -293,7 +293,7 @@ TEST(Simulator, RejectsMalformedConfig) {
     SimConfig c;
     WorkloadSpec short_wl = wl;
     short_wl.app_names.pop_back();
-    EXPECT_DEATH(Simulator(c, short_wl), "one app per node");
+    EXPECT_DEATH(Simulator(c, short_wl), "one app per core");
   }
   {
     SimConfig c;
